@@ -1,0 +1,74 @@
+#ifndef TIX_BENCH_BENCH_CORPUS_H_
+#define TIX_BENCH_BENCH_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "storage/database.h"
+
+/// \file
+/// Shared benchmark environment: one synthetic INEX-like corpus with all
+/// terms and phrases needed by Tables 1–5 planted at controlled
+/// frequencies. The corpus is built once per (articles, seed) into a
+/// cache directory and reused by every bench binary.
+///
+/// The paper's corpus is INEX (18M elements); the default here is 3,000
+/// articles (~215k nodes, ~3.4M words). Frequencies are the paper's
+/// nominal values scaled by (articles / 3000), so sweeps keep their
+/// meaning at any --articles value.
+
+namespace tix::bench {
+
+/// Term-frequency sweep of Tables 1 and 2.
+const std::vector<uint64_t>& Table1Freqs();
+/// term2 sweep of Table 3 (term1 fixed at 1,000).
+const std::vector<uint64_t>& Table3Freqs();
+
+/// Paper reference timings (seconds), for side-by-side printing.
+struct PaperRow {
+  uint64_t x = 0;  // frequency / #terms / query id
+  double comp1 = 0, comp2 = 0, gen_meet = 0, term_join = 0, enhanced = 0;
+};
+const std::vector<PaperRow>& PaperTable1();
+const std::vector<PaperRow>& PaperTable2();
+const std::vector<PaperRow>& PaperTable3();
+const std::vector<PaperRow>& PaperTable4();
+
+/// Table 5 query descriptors: paper frequencies and result sizes.
+struct Table5Query {
+  int id = 0;
+  uint64_t freq1 = 0;
+  uint64_t freq2 = 0;
+  uint64_t result_size = 0;
+  double paper_comp3 = 0.0;
+  double paper_phrase_finder = 0.0;
+};
+const std::vector<Table5Query>& Table5Queries();
+
+/// Names of planted terms (frequencies are scaled internally).
+std::string Table1Term(int which, uint64_t nominal_freq);   // which: 1 or 2
+std::string Table4Term(int i);                              // 0..6, freq 1500
+std::string Table5Term(int query_id, int which);            // which: 1 or 2
+
+struct BenchEnv {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<index::InvertedIndex> index;
+  uint64_t num_articles = 0;
+  double scale = 1.0;  // num_articles / 3000
+};
+
+/// Opens the cached environment in `dir`, building it when absent or
+/// built with different parameters. Prints progress to stderr.
+Result<BenchEnv> GetOrBuildBenchEnv(const std::string& dir,
+                                    uint64_t num_articles, uint64_t seed);
+
+/// Scales a nominal frequency by (num_articles/3000), at least 1.
+uint64_t ScaledFreq(uint64_t nominal, double scale);
+
+}  // namespace tix::bench
+
+#endif  // TIX_BENCH_BENCH_CORPUS_H_

@@ -1,0 +1,57 @@
+// Table 3 reproduction: two-term queries with term1 frequency fixed at
+// 1,000 and term2 frequency varied, COMPLEX scoring, all five methods.
+//
+//   ./build/bench/bench_table3 [--articles=3000] [--runs=3]
+//
+// Expected shape (paper Table 3): same trends as Table 2; Comp1 scales
+// worst in the varied frequency.
+
+#include <cstdio>
+
+#include "bench/bench_corpus.h"
+#include "bench/bench_util.h"
+#include "bench/table_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace tix::bench;
+  const Flags flags(argc, argv);
+  const uint64_t articles = flags.GetInt("articles", 3000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const std::string dir = flags.GetString("data-dir", "/tmp/tix_bench");
+
+  auto env_result = GetOrBuildBenchEnv(dir, articles, flags.GetInt("seed", 42));
+  if (!env_result.ok()) {
+    std::fprintf(stderr, "%s\n", env_result.status().ToString().c_str());
+    return 1;
+  }
+  BenchEnv env = std::move(env_result).value();
+
+  std::printf(
+      "Table 3 — term1 frequency fixed at 1,000, term2 varied, COMPLEX "
+      "scoring\ncorpus: %llu articles, %llu nodes\n\n",
+      static_cast<unsigned long long>(env.num_articles),
+      static_cast<unsigned long long>(env.db->num_nodes()));
+  std::printf("%9s | %10s %10s %10s %10s %10s | paper(s): %7s %7s %7s %7s %7s\n",
+              "t2 freq", "Comp1(s)", "Comp2(s)", "GenMeet(s)", "TermJoin(s)",
+              "Enh.TJ(s)", "Comp1", "Comp2", "GenMeet", "TJ", "EnhTJ");
+  PrintRule(126);
+
+  const auto& paper = PaperTable3();
+  for (size_t i = 0; i < Table3Freqs().size(); ++i) {
+    const uint64_t freq = Table3Freqs()[i];
+    // term1: the fixed 1,000-frequency Table 1 term; term2: the second
+    // planted term of the varied frequency.
+    const tix::algebra::IrPredicate predicate =
+        TwoTermPredicate(Table1Term(1, 1000), Table1Term(2, freq));
+    const RowTimes row =
+        RunRow(env, predicate, /*complex=*/true, runs, /*enhanced=*/true);
+    std::printf(
+        "%9llu | %10.4f %10.4f %10.4f %10.4f %10.4f | %17.2f %7.2f %7.2f "
+        "%7.2f %7.2f\n",
+        static_cast<unsigned long long>(freq), row.comp1, row.comp2,
+        row.gen_meet, row.term_join, row.enhanced.value_or(0.0),
+        paper[i].comp1, paper[i].comp2, paper[i].gen_meet,
+        paper[i].term_join, paper[i].enhanced);
+  }
+  return 0;
+}

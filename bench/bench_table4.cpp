@@ -1,0 +1,59 @@
+// Table 4 reproduction: queries with 2..7 terms, each of frequency
+// ~1,500, COMPLEX scoring, all five methods.
+//
+//   ./build/bench/bench_table4 [--articles=3000] [--runs=3]
+//
+// Expected shape (paper Table 4): every method grows with phrase size;
+// Comp2 grows fastest in absolute terms (one more table scan per term);
+// TermJoin ~2x better than Generalized Meet; Enhanced up to ~4x better
+// than TermJoin.
+
+#include <cstdio>
+
+#include "bench/bench_corpus.h"
+#include "bench/bench_util.h"
+#include "bench/table_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace tix::bench;
+  const Flags flags(argc, argv);
+  const uint64_t articles = flags.GetInt("articles", 3000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const std::string dir = flags.GetString("data-dir", "/tmp/tix_bench");
+
+  auto env_result = GetOrBuildBenchEnv(dir, articles, flags.GetInt("seed", 42));
+  if (!env_result.ok()) {
+    std::fprintf(stderr, "%s\n", env_result.status().ToString().c_str());
+    return 1;
+  }
+  BenchEnv env = std::move(env_result).value();
+
+  std::printf(
+      "Table 4 — 2..7 query terms, each with frequency ~1,500, COMPLEX "
+      "scoring\ncorpus: %llu articles, %llu nodes\n\n",
+      static_cast<unsigned long long>(env.num_articles),
+      static_cast<unsigned long long>(env.db->num_nodes()));
+  std::printf("%7s | %10s %10s %10s %10s %10s | paper(s): %7s %8s %7s %7s %7s\n",
+              "#terms", "Comp1(s)", "Comp2(s)", "GenMeet(s)", "TermJoin(s)",
+              "Enh.TJ(s)", "Comp1", "Comp2", "GenMeet", "TJ", "EnhTJ");
+  PrintRule(126);
+
+  const auto& paper = PaperTable4();
+  for (int terms = 2; terms <= 7; ++terms) {
+    tix::algebra::IrPredicate predicate;
+    for (int i = 0; i < terms; ++i) {
+      predicate.phrases.push_back(
+          tix::algebra::WeightedPhrase{{Table4Term(i)}, i == 0 ? 0.8 : 0.6});
+    }
+    const RowTimes row =
+        RunRow(env, predicate, /*complex=*/true, runs, /*enhanced=*/true);
+    const PaperRow& reference = paper[static_cast<size_t>(terms - 2)];
+    std::printf(
+        "%7d | %10.4f %10.4f %10.4f %10.4f %10.4f | %17.2f %8.2f %7.2f "
+        "%7.2f %7.2f\n",
+        terms, row.comp1, row.comp2, row.gen_meet, row.term_join,
+        row.enhanced.value_or(0.0), reference.comp1, reference.comp2,
+        reference.gen_meet, reference.term_join, reference.enhanced);
+  }
+  return 0;
+}

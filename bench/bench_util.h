@@ -1,0 +1,91 @@
+#ifndef TIX_BENCH_BENCH_UTIL_H_
+#define TIX_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+/// \file
+/// Harness helpers for the table benches: flag parsing, the paper's
+/// timing protocol, and row printing.
+
+namespace tix::bench {
+
+/// Minimal --name=value flag parsing.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_.emplace_back(arg.substr(2), "true");
+      } else {
+        values_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return std::strtoull(value.c_str(), nullptr, 10);
+    }
+    return fallback;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+/// The paper's protocol: run up to `runs` times, drop the lowest and
+/// highest reading when >= 3 remain possible, average the rest. Long
+/// runs (first reading > `skip_repeat_above` seconds) are not repeated.
+inline double Measure(const std::function<Status()>& fn, int runs,
+                      double skip_repeat_above = 5.0) {
+  std::vector<double> readings;
+  for (int i = 0; i < std::max(1, runs); ++i) {
+    WallTimer timer;
+    const Status status = fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench run failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    readings.push_back(elapsed);
+    if (elapsed > skip_repeat_above) break;
+  }
+  if (readings.size() >= 3) {
+    std::sort(readings.begin(), readings.end());
+    readings.erase(readings.begin());
+    readings.pop_back();
+  }
+  return std::accumulate(readings.begin(), readings.end(), 0.0) /
+         static_cast<double>(readings.size());
+}
+
+/// Prints one dashed separator line sized to the header.
+inline void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace tix::bench
+
+#endif  // TIX_BENCH_BENCH_UTIL_H_

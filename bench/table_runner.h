@@ -1,0 +1,101 @@
+#ifndef TIX_BENCH_TABLE_RUNNER_H_
+#define TIX_BENCH_TABLE_RUNNER_H_
+
+#include <memory>
+#include <optional>
+
+#include "algebra/scoring.h"
+#include "bench/bench_corpus.h"
+#include "bench/bench_util.h"
+#include "exec/composite.h"
+#include "exec/gen_meet.h"
+#include "exec/term_join.h"
+
+/// \file
+/// Shared row runner for Tables 1–4: times Comp1, Comp2, Generalized
+/// Meet, TermJoin (and, under complex scoring, Enhanced TermJoin) on one
+/// IR predicate.
+
+namespace tix::bench {
+
+struct RowTimes {
+  double comp1 = 0;
+  double comp2 = 0;
+  double gen_meet = 0;
+  double term_join = 0;
+  std::optional<double> enhanced;
+  size_t outputs = 0;
+};
+
+inline std::unique_ptr<algebra::Scorer> MakeScorer(
+    const algebra::IrPredicate& predicate, bool complex) {
+  if (complex) {
+    return std::make_unique<algebra::ComplexProximityScorer>(
+        predicate.Weights());
+  }
+  return std::make_unique<algebra::WeightedCountScorer>(predicate.Weights());
+}
+
+inline RowTimes RunRow(BenchEnv& env, const algebra::IrPredicate& predicate,
+                       bool complex, int runs, bool with_enhanced) {
+  RowTimes row;
+  const std::unique_ptr<algebra::Scorer> scorer =
+      MakeScorer(predicate, complex);
+
+  row.comp1 = Measure(
+      [&] {
+        exec::Comp1 method(env.db.get(), env.index.get(), &predicate,
+                           scorer.get());
+        return method.Run().status();
+      },
+      runs);
+  row.comp2 = Measure(
+      [&] {
+        exec::Comp2 method(env.db.get(), env.index.get(), &predicate,
+                           scorer.get());
+        return method.Run().status();
+      },
+      runs);
+  row.gen_meet = Measure(
+      [&] {
+        exec::GeneralizedMeet method(env.db.get(), env.index.get(),
+                                     &predicate, scorer.get());
+        return method.Run().status();
+      },
+      runs);
+  row.term_join = Measure(
+      [&] {
+        exec::TermJoin method(env.db.get(), env.index.get(), &predicate,
+                              scorer.get());
+        auto result = method.Run();
+        if (result.ok()) row.outputs = result.value().size();
+        return result.status();
+      },
+      runs);
+  if (with_enhanced) {
+    exec::TermJoinOptions options;
+    options.enhanced = true;
+    row.enhanced = Measure(
+        [&] {
+          exec::TermJoin method(env.db.get(), env.index.get(), &predicate,
+                                scorer.get(), options);
+          return method.Run().status();
+        },
+        runs);
+  }
+  return row;
+}
+
+/// Builds the two-term predicate of Tables 1–3 (weights 0.8 / 0.6 as in
+/// the paper's ScoreFoo).
+inline algebra::IrPredicate TwoTermPredicate(const std::string& term1,
+                                             const std::string& term2) {
+  algebra::IrPredicate predicate;
+  predicate.phrases.push_back(algebra::WeightedPhrase{{term1}, 0.8});
+  predicate.phrases.push_back(algebra::WeightedPhrase{{term2}, 0.6});
+  return predicate;
+}
+
+}  // namespace tix::bench
+
+#endif  // TIX_BENCH_TABLE_RUNNER_H_

@@ -1,0 +1,56 @@
+#include "algebra/pattern_tree.h"
+
+namespace tix::algebra {
+
+PatternNode* PatternNode::AddChild(int label, Axis axis) {
+  auto child = std::make_unique<PatternNode>(label);
+  child->axis_ = axis;
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+PatternNode* ScoredPatternTree::CreateRoot(int label) {
+  root_ = std::make_unique<PatternNode>(label);
+  return root_.get();
+}
+
+namespace {
+const PatternNode* FindLabelImpl(const PatternNode* node, int label) {
+  if (node == nullptr) return nullptr;
+  if (node->label() == label) return node;
+  for (const auto& child : node->children()) {
+    if (const PatternNode* found = FindLabelImpl(child.get(), label)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+void CollectImpl(const PatternNode* node,
+                 std::vector<const PatternNode*>* out) {
+  if (node == nullptr) return;
+  out->push_back(node);
+  for (const auto& child : node->children()) CollectImpl(child.get(), out);
+}
+}  // namespace
+
+const PatternNode* ScoredPatternTree::FindLabel(int label) const {
+  return FindLabelImpl(root_.get(), label);
+}
+
+std::vector<const PatternNode*> ScoredPatternTree::AllNodes() const {
+  std::vector<const PatternNode*> out;
+  CollectImpl(root_.get(), &out);
+  return out;
+}
+
+std::vector<const PatternNode*> ScoredPatternTree::PrimaryIrNodes() const {
+  std::vector<const PatternNode*> out;
+  for (const PatternNode* node : AllNodes()) {
+    if (node->is_primary_ir()) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace tix::algebra

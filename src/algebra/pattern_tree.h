@@ -1,0 +1,133 @@
+#ifndef TIX_ALGEBRA_PATTERN_TREE_H_
+#define TIX_ALGEBRA_PATTERN_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/macros.h"
+
+/// \file
+/// Scored pattern trees (Definition 2): a node- and edge-labeled tree T,
+/// a formula F of per-node predicates (this implementation supports
+/// conjunctions, which covers every query in the paper), and scoring
+/// functions S attached to IR-nodes. A node with an `IrPredicate` is a
+/// *primary IR-node*; a node with a `SecondaryScore` rule derives its
+/// score from other IR-nodes (a *secondary IR-node*).
+
+namespace tix::algebra {
+
+/// Edge label between a pattern node and its parent.
+enum class Axis {
+  kChild,             // pc
+  kDescendant,        // ad
+  kDescendantOrSelf,  // ad*
+};
+
+/// A value-based predicate on one pattern node (a conjunct of F).
+struct Predicate {
+  enum class Kind {
+    /// alltext() of the subtree equals `value` after trimming.
+    kContentEquals,
+    /// alltext() of the subtree contains the word `value`.
+    kContentContainsWord,
+    /// Attribute `name` exists and equals `value`.
+    kAttributeEquals,
+  };
+  Kind kind = Kind::kContentEquals;
+  std::string name;   // attribute name (kAttributeEquals only)
+  std::string value;
+};
+
+/// How a secondary IR-node obtains its score from a primary one.
+struct SecondaryScore {
+  /// Label of the pattern node whose matches provide the score.
+  int source_label = 0;
+  enum class Aggregate { kMax, kSum } aggregate = Aggregate::kMax;
+};
+
+class PatternNode {
+ public:
+  explicit PatternNode(int label) : label_(label) {}
+  TIX_DISALLOW_COPY_AND_ASSIGN(PatternNode);
+
+  int label() const { return label_; }
+
+  Axis axis() const { return axis_; }
+  void set_axis(Axis axis) { axis_ = axis; }
+
+  /// Tag constraint; nullopt matches any element.
+  const std::optional<std::string>& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  void AddPredicate(Predicate predicate) {
+    predicates_.push_back(std::move(predicate));
+  }
+
+  /// Primary IR-node marker + its predicate.
+  const std::optional<IrPredicate>& ir() const { return ir_; }
+  void set_ir(IrPredicate ir, std::shared_ptr<const Scorer> scorer) {
+    ir_ = std::move(ir);
+    scorer_ = std::move(scorer);
+  }
+  const Scorer* scorer() const { return scorer_.get(); }
+  bool is_primary_ir() const { return ir_.has_value(); }
+
+  const std::optional<SecondaryScore>& secondary_score() const {
+    return secondary_score_;
+  }
+  void set_secondary_score(SecondaryScore rule) { secondary_score_ = rule; }
+  bool is_secondary_ir() const { return secondary_score_.has_value(); }
+
+  const std::vector<std::unique_ptr<PatternNode>>& children() const {
+    return children_;
+  }
+  PatternNode* parent() const { return parent_; }
+
+  PatternNode* AddChild(int label, Axis axis);
+
+ private:
+  int label_;
+  Axis axis_ = Axis::kChild;
+  std::optional<std::string> tag_;
+  std::vector<Predicate> predicates_;
+  std::optional<IrPredicate> ir_;
+  std::shared_ptr<const Scorer> scorer_;
+  std::optional<SecondaryScore> secondary_score_;
+  std::vector<std::unique_ptr<PatternNode>> children_;
+  PatternNode* parent_ = nullptr;
+};
+
+/// The scored pattern tree P = (T, F, S).
+class ScoredPatternTree {
+ public:
+  ScoredPatternTree() = default;
+  TIX_DISALLOW_COPY_AND_ASSIGN(ScoredPatternTree);
+  ScoredPatternTree(ScoredPatternTree&&) noexcept = default;
+  ScoredPatternTree& operator=(ScoredPatternTree&&) noexcept = default;
+
+  /// Creates the root pattern node with the given label.
+  PatternNode* CreateRoot(int label);
+
+  const PatternNode* root() const { return root_.get(); }
+  PatternNode* mutable_root() { return root_.get(); }
+
+  /// Finds the pattern node with `label`, or nullptr.
+  const PatternNode* FindLabel(int label) const;
+
+  /// All pattern nodes, pre-order.
+  std::vector<const PatternNode*> AllNodes() const;
+
+  /// All primary IR-nodes, pre-order.
+  std::vector<const PatternNode*> PrimaryIrNodes() const;
+
+ private:
+  std::unique_ptr<PatternNode> root_;
+};
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_PATTERN_TREE_H_

@@ -1,0 +1,125 @@
+#include "algebra/pick.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tix::algebra {
+
+bool PickCriterion::IsSameClass(const PickNodeInfo& node,
+                                const PickNodeInfo& picked_ancestor) const {
+  // Parent/child redundancy: suppress a node exactly when the picked
+  // ancestor is its direct parent.
+  return picked_ancestor.level + 1 == node.level;
+}
+
+bool PickFooCriterion::DetWorth(const PickNodeInfo& info) const {
+  if (info.total_children == 0) return false;
+  const double fraction = static_cast<double>(info.relevant_children) /
+                          static_cast<double>(info.total_children);
+  return fraction > qualification_fraction_;
+}
+
+bool LevelParityPickCriterion::IsSameClass(
+    const PickNodeInfo& node, const PickNodeInfo& picked_ancestor) const {
+  return (node.level % 2) == (picked_ancestor.level % 2);
+}
+
+ScoreHistogram::ScoreHistogram(const std::vector<double>& scores,
+                               int buckets) {
+  TIX_CHECK_GT(buckets, 0);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+  if (scores.empty()) return;
+  min_ = *std::min_element(scores.begin(), scores.end());
+  max_ = *std::max_element(scores.begin(), scores.end());
+  bucket_width_ = (max_ - min_) / buckets;
+  if (bucket_width_ <= 0.0) bucket_width_ = 1.0;
+  for (double score : scores) {
+    size_t bucket = static_cast<size_t>((score - min_) / bucket_width_);
+    bucket = std::min(bucket, counts_.size() - 1);
+    ++counts_[bucket];
+    ++total_;
+  }
+}
+
+double ScoreHistogram::ThresholdForTopFraction(double fraction) const {
+  if (total_ == 0) return 0.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(fraction * static_cast<double>(total_)));
+  uint64_t seen = 0;
+  for (size_t i = counts_.size(); i-- > 0;) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return min_ + static_cast<double>(i) * bucket_width_;
+    }
+  }
+  return min_;
+}
+
+uint64_t ScoreHistogram::CountAbove(double threshold) const {
+  if (total_ == 0) return 0;
+  if (threshold <= min_) return total_;
+  uint64_t count = 0;
+  const double upper_first =
+      (threshold - min_) / bucket_width_;
+  const size_t first_bucket = static_cast<size_t>(upper_first);
+  for (size_t i = first_bucket; i < counts_.size(); ++i) count += counts_[i];
+  return count;
+}
+
+namespace {
+
+struct RefPickFrame {
+  const ScoredTreeNode* node;
+  PickNodeInfo info;
+};
+
+void ReferencePickVisit(const ScoredTreeNode& node, uint16_t level,
+                        const PickCriterion& criterion,
+                        std::vector<PickNodeInfo>* picked_ancestors,
+                        std::vector<storage::NodeId>* out) {
+  PickNodeInfo info;
+  info.node = node.node();
+  info.level = level;
+  info.score = node.score_or_zero();
+  info.total_children = static_cast<uint32_t>(node.children().size());
+  for (const auto& child : node.children()) {
+    if (child->score_or_zero() >= criterion.relevance_threshold()) {
+      ++info.relevant_children;
+    }
+  }
+  info.has_parent = node.parent() != nullptr;
+
+  bool picked = criterion.DetWorth(info);
+  if (picked) {
+    for (const PickNodeInfo& ancestor : *picked_ancestors) {
+      if (criterion.IsSameClass(info, ancestor)) {
+        picked = false;
+        break;
+      }
+    }
+  }
+  if (picked) {
+    out->push_back(info.node);
+    picked_ancestors->push_back(info);
+  }
+  for (const auto& child : node.children()) {
+    ReferencePickVisit(*child, static_cast<uint16_t>(level + 1), criterion,
+                       picked_ancestors, out);
+  }
+  if (picked) picked_ancestors->pop_back();
+}
+
+}  // namespace
+
+std::vector<storage::NodeId> ReferencePick(const ScoredTree& tree,
+                                           const PickCriterion& criterion) {
+  std::vector<storage::NodeId> out;
+  if (tree.empty()) return out;
+  std::vector<PickNodeInfo> picked_ancestors;
+  ReferencePickVisit(*tree.root(), 0, criterion, &picked_ancestors, &out);
+  return out;
+}
+
+}  // namespace tix::algebra

@@ -1,0 +1,131 @@
+#ifndef TIX_ALGEBRA_PICK_H_
+#define TIX_ALGEBRA_PICK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algebra/scored_tree.h"
+#include "storage/node_record.h"
+
+/// \file
+/// The Pick operator (Sec. 3.3.2 / Sec. 5.3): granularity selection and
+/// redundancy elimination over scored data trees. Pick criteria are
+/// user-pluggable via `PickCriterion` (the paper's DetWorth /
+/// IsSameClass pair); `PickFooCriterion` is the paper's Fig. 9 instance.
+
+namespace tix::algebra {
+
+/// What a pick criterion may inspect about one candidate node.
+struct PickNodeInfo {
+  storage::NodeId node = storage::kInvalidNodeId;
+  uint16_t level = 0;
+  /// The node's own score (0 when null).
+  double score = 0.0;
+  uint32_t total_children = 0;
+  /// Children whose score is >= the criterion's relevance threshold.
+  uint32_t relevant_children = 0;
+  bool has_parent = false;
+};
+
+/// User hook deciding which nodes are worth returning and which pairs
+/// are redundant. See Fig. 12: `DetWorth` decides worth; `IsSameClass`
+/// decides whether a worthy node is redundant w.r.t. a picked ancestor
+/// (vertical redundancy elimination).
+class PickCriterion {
+ public:
+  virtual ~PickCriterion() = default;
+
+  /// Scores at or above this make a node "relevant" when classifying
+  /// children.
+  virtual double relevance_threshold() const = 0;
+
+  /// True when the node should be returned (assuming no redundancy).
+  virtual bool DetWorth(const PickNodeInfo& info) const = 0;
+
+  /// True when `node` is redundant given that `picked_ancestor` is
+  /// already returned. The default implements parent/child redundancy
+  /// elimination: a node directly under a picked parent is suppressed.
+  virtual bool IsSameClass(const PickNodeInfo& node,
+                           const PickNodeInfo& picked_ancestor) const;
+};
+
+/// The paper's PickFoo (Fig. 9): a node is worth returning when more
+/// than `qualification_fraction` of its children are relevant
+/// (score >= `threshold`); between a parent and a child only one is
+/// returned.
+class PickFooCriterion : public PickCriterion {
+ public:
+  explicit PickFooCriterion(double threshold = 0.8,
+                            double qualification_fraction = 0.5)
+      : threshold_(threshold),
+        qualification_fraction_(qualification_fraction) {}
+
+  double relevance_threshold() const override { return threshold_; }
+  bool DetWorth(const PickNodeInfo& info) const override;
+
+ private:
+  double threshold_;
+  double qualification_fraction_;
+};
+
+/// A criterion that additionally treats nodes on the same parity of tree
+/// level as one return class (the paper's example IsSameClass).
+class LevelParityPickCriterion : public PickFooCriterion {
+ public:
+  using PickFooCriterion::PickFooCriterion;
+  bool IsSameClass(const PickNodeInfo& node,
+                   const PickNodeInfo& picked_ancestor) const override;
+};
+
+/// Auxiliary data of Sec. 5.3: a histogram of data-IR-node scores that
+/// lets users express thresholds as "top fraction" instead of absolute
+/// scores they cannot know in advance.
+class ScoreHistogram {
+ public:
+  /// Builds an equi-width histogram over the given scores.
+  explicit ScoreHistogram(const std::vector<double>& scores, int buckets = 64);
+
+  /// Smallest threshold t such that at most `fraction` of the scores are
+  /// >= t (approximate, bucket-granular).
+  double ThresholdForTopFraction(double fraction) const;
+
+  /// Number of scores >= threshold (approximate for mid-bucket values).
+  uint64_t CountAbove(double threshold) const;
+
+  double min_score() const { return min_; }
+  double max_score() const { return max_; }
+  uint64_t total() const { return total_; }
+
+ private:
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double bucket_width_ = 1.0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+/// A PickFoo-style criterion whose relevance threshold is derived from
+/// the *score distribution* instead of an absolute value — the use of
+/// auxiliary histogram data Sec. 5.3 advocates, because "it is often
+/// unrealistic to ask the users for the exact relevance score
+/// threshold". Construct it from the histogram of the query's scores
+/// and the fraction of components that should count as relevant.
+class QuantilePickCriterion : public PickFooCriterion {
+ public:
+  QuantilePickCriterion(const ScoreHistogram& histogram, double top_fraction,
+                        double qualification_fraction = 0.5)
+      : PickFooCriterion(histogram.ThresholdForTopFraction(top_fraction),
+                         qualification_fraction) {}
+};
+
+/// Reference (non-pipelined) Pick over a scored data tree: returns the
+/// picked node ids in document order. The physical stack-based
+/// implementation in `exec/pick_operator.h` must agree with this on all
+/// inputs (property-tested).
+std::vector<storage::NodeId> ReferencePick(const ScoredTree& tree,
+                                           const PickCriterion& criterion);
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_PICK_H_

@@ -1,0 +1,57 @@
+#include "algebra/scored_tree.h"
+
+#include "common/logging.h"
+
+namespace tix::algebra {
+
+ScoredTreeNode* ScoredTreeNode::AddChild(
+    std::unique_ptr<ScoredTreeNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+ScoredTreeNode* ScoredTreeNode::AddChild(storage::NodeId node) {
+  return AddChild(std::make_unique<ScoredTreeNode>(node));
+}
+
+void ScoredTreeNode::RemoveChild(size_t index) {
+  TIX_CHECK_LT(index, children_.size());
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+size_t ScoredTreeNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+void ScoredTreeNode::PreOrder(
+    const std::function<void(ScoredTreeNode&)>& fn) {
+  fn(*this);
+  for (auto& child : children_) child->PreOrder(fn);
+}
+
+void ScoredTreeNode::PreOrderConst(
+    const std::function<void(const ScoredTreeNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) child->PreOrderConst(fn);
+}
+
+std::unique_ptr<ScoredTreeNode> ScoredTreeNode::Clone() const {
+  auto copy = std::make_unique<ScoredTreeNode>(node_);
+  copy->score_ = score_;
+  copy->matched_label_ = matched_label_;
+  for (const auto& child : children_) copy->AddChild(child->Clone());
+  return copy;
+}
+
+ScoredTreeNode* ScoredTreeNode::Find(storage::NodeId node) {
+  if (node_ == node) return this;
+  for (auto& child : children_) {
+    if (ScoredTreeNode* found = child->Find(node)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace tix::algebra

@@ -1,0 +1,105 @@
+#ifndef TIX_ALGEBRA_SCORED_TREE_H_
+#define TIX_ALGEBRA_SCORED_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/node_record.h"
+
+/// \file
+/// The TIX data model (Definition 1 of the paper): scored data trees.
+/// Nodes reference stored database nodes and carry an optional score —
+/// null until the node is matched against a scored pattern tree's
+/// IR-node. The score of a tree is the score of its root.
+
+namespace tix::algebra {
+
+/// One node of a scored data tree.
+class ScoredTreeNode {
+ public:
+  explicit ScoredTreeNode(storage::NodeId node) : node_(node) {}
+  TIX_DISALLOW_COPY_AND_ASSIGN(ScoredTreeNode);
+
+  storage::NodeId node() const { return node_; }
+
+  /// Score is null (nullopt) until an IR predicate assigns one.
+  const std::optional<double>& score() const { return score_; }
+  void set_score(double score) { score_ = score; }
+  void clear_score() { score_.reset(); }
+  double score_or_zero() const { return score_.value_or(0.0); }
+
+  /// The pattern-node label this data node matched (0 when untracked).
+  int matched_label() const { return matched_label_; }
+  void set_matched_label(int label) { matched_label_ = label; }
+
+  const std::vector<std::unique_ptr<ScoredTreeNode>>& children() const {
+    return children_;
+  }
+  ScoredTreeNode* parent() const { return parent_; }
+
+  ScoredTreeNode* AddChild(std::unique_ptr<ScoredTreeNode> child);
+  ScoredTreeNode* AddChild(storage::NodeId node);
+
+  /// Removes the child at `index`, reparenting nothing (the subtree is
+  /// discarded). Used by reference Pick/Projection.
+  void RemoveChild(size_t index);
+
+  size_t SubtreeSize() const;
+
+  /// Pre-order visit of this subtree.
+  void PreOrder(const std::function<void(ScoredTreeNode&)>& fn);
+  void PreOrderConst(
+      const std::function<void(const ScoredTreeNode&)>& fn) const;
+
+  /// Deep copy.
+  std::unique_ptr<ScoredTreeNode> Clone() const;
+
+  /// First node in the subtree referencing `node`, else nullptr.
+  ScoredTreeNode* Find(storage::NodeId node);
+
+ private:
+  storage::NodeId node_;
+  std::optional<double> score_;
+  int matched_label_ = 0;
+  std::vector<std::unique_ptr<ScoredTreeNode>> children_;
+  ScoredTreeNode* parent_ = nullptr;
+};
+
+/// A scored data tree; the collection type of the TIX algebra is
+/// std::vector<ScoredTree>.
+class ScoredTree {
+ public:
+  ScoredTree() = default;
+  explicit ScoredTree(std::unique_ptr<ScoredTreeNode> root)
+      : root_(std::move(root)) {}
+  ScoredTree(ScoredTree&&) noexcept = default;
+  ScoredTree& operator=(ScoredTree&&) noexcept = default;
+  TIX_DISALLOW_COPY_AND_ASSIGN(ScoredTree);
+
+  const ScoredTreeNode* root() const { return root_.get(); }
+  ScoredTreeNode* mutable_root() { return root_.get(); }
+  void set_root(std::unique_ptr<ScoredTreeNode> root) {
+    root_ = std::move(root);
+  }
+
+  bool empty() const { return root_ == nullptr; }
+
+  /// Score of the tree = score of the root (Definition 1); 0 when null.
+  double Score() const { return root_ ? root_->score_or_zero() : 0.0; }
+
+  ScoredTree Clone() const {
+    return root_ ? ScoredTree(root_->Clone()) : ScoredTree();
+  }
+
+ private:
+  std::unique_ptr<ScoredTreeNode> root_;
+};
+
+using ScoredTreeCollection = std::vector<ScoredTree>;
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_SCORED_TREE_H_

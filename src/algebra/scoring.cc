@@ -1,0 +1,160 @@
+#include "algebra/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace tix::algebra {
+
+IrPredicate IrPredicate::FooStyle(std::vector<std::string> primary,
+                                  std::vector<std::string> desirable) {
+  IrPredicate predicate;
+  for (std::string& phrase : primary) {
+    WeightedPhrase wp;
+    wp.weight = 0.8;
+    // Phrases are whitespace-split into terms.
+    std::string current;
+    for (char c : phrase) {
+      if (c == ' ') {
+        if (!current.empty()) wp.terms.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) wp.terms.push_back(current);
+    predicate.phrases.push_back(std::move(wp));
+  }
+  for (std::string& phrase : desirable) {
+    WeightedPhrase wp;
+    wp.weight = 0.6;
+    std::string current;
+    for (char c : phrase) {
+      if (c == ' ') {
+        if (!current.empty()) wp.terms.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) wp.terms.push_back(current);
+    predicate.phrases.push_back(std::move(wp));
+  }
+  return predicate;
+}
+
+std::vector<double> IrPredicate::Weights() const {
+  std::vector<double> weights;
+  weights.reserve(phrases.size());
+  for (const WeightedPhrase& phrase : phrases) weights.push_back(phrase.weight);
+  return weights;
+}
+
+double WeightedCountScorer::Score(std::span<const uint32_t> counts) const {
+  double score = 0.0;
+  const size_t n = std::min(counts.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) score += weights_[i] * counts[i];
+  return score;
+}
+
+double TfIdfScorer::Score(std::span<const uint32_t> counts) const {
+  double score = 0.0;
+  const size_t n = std::min(counts.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    const double idf = i < idf_.size() ? idf_[i] : 1.0;
+    score += weights_[i] * (1.0 + std::log(static_cast<double>(counts[i]))) *
+             idf;
+  }
+  return score;
+}
+
+double ComplexProximityScorer::Score(std::span<const uint32_t> counts) const {
+  double score = 0.0;
+  const size_t n = std::min(counts.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) score += weights_[i] * counts[i];
+  return score;
+}
+
+double ComplexProximityScorer::ScoreComplex(
+    const ScoreContext& context) const {
+  const double base = Score(context.counts);
+  if (base == 0.0) return 0.0;
+
+  // Proximity boost: average over adjacent occurrence pairs of
+  // *different* phrases of 1/(1+distance). Closer mixed occurrences ->
+  // larger boost, as Sec. 6.1 describes.
+  double boost_sum = 0.0;
+  size_t boost_pairs = 0;
+  for (size_t i = 1; i < context.occurrences.size(); ++i) {
+    const TermOccurrence& prev = context.occurrences[i - 1];
+    const TermOccurrence& curr = context.occurrences[i];
+    if (prev.phrase_index == curr.phrase_index) continue;
+    double distance;
+    if (prev.text_node == curr.text_node) {
+      distance = static_cast<double>(curr.word_pos - prev.word_pos);
+    } else {
+      distance = node_distance_factor_ *
+                 static_cast<double>(curr.text_node - prev.text_node);
+    }
+    boost_sum += 1.0 / (1.0 + distance);
+    ++boost_pairs;
+  }
+  const double proximity =
+      boost_pairs == 0 ? 1.0 : 1.0 + boost_sum / static_cast<double>(boost_pairs);
+
+  // Relevant-children ratio: an article with one matching paragraph among
+  // many children scores low even if counts are high.
+  double child_ratio = 1.0;
+  if (context.total_children > 0) {
+    child_ratio = static_cast<double>(context.relevant_children) /
+                  static_cast<double>(context.total_children);
+  }
+  return base * proximity * child_ratio;
+}
+
+double LengthNormalizedScorer::ScoreWithLength(
+    std::span<const uint32_t> counts, double length) const {
+  double score = 0.0;
+  const size_t n = std::min(counts.size(), weights_.size());
+  const double norm = k1_ * (1.0 - b_ + b_ * length / average_span_);
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    const double tf = static_cast<double>(counts[i]);
+    const double idf = i < idf_.size() ? idf_[i] : 1.0;
+    score += weights_[i] * idf * tf * (k1_ + 1.0) / (tf + norm);
+  }
+  return score;
+}
+
+double LengthNormalizedScorer::Score(std::span<const uint32_t> counts) const {
+  // No span available: score as if the element had average length.
+  return ScoreWithLength(counts, average_span_);
+}
+
+double LengthNormalizedScorer::ScoreComplex(
+    const ScoreContext& context) const {
+  return ScoreWithLength(context.counts,
+                         static_cast<double>(context.element_span()));
+}
+
+double ScoreSim(std::span<const std::string> a_terms,
+                std::span<const std::string> b_terms) {
+  std::unordered_map<std::string_view, int> counts;
+  for (const std::string& term : a_terms) ++counts[term];
+  double common = 0.0;
+  for (const std::string& term : b_terms) {
+    auto it = counts.find(term);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      common += 1.0;
+    }
+  }
+  return common;
+}
+
+double ScoreBar(double join_score, double ir_score) {
+  return ir_score > 0.0 ? join_score + ir_score : 0.0;
+}
+
+}  // namespace tix::algebra

@@ -1,0 +1,192 @@
+#ifndef TIX_ALGEBRA_SCORING_H_
+#define TIX_ALGEBRA_SCORING_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/node_record.h"
+
+/// \file
+/// Scoring functions (the S component of scored pattern trees, Sec. 3.1).
+/// Scores are user-pluggable: the engine calls a `Scorer` with per-phrase
+/// occurrence counts (simple scoring) or with full occurrence/children
+/// information (complex scoring, Sec. 5.1.1 "Complex Scoring Function").
+/// Built-ins reproduce the paper's ScoreFoo / ScoreSim / ScoreBar
+/// (Fig. 9) and the complex proximity function of Sec. 6.1.
+
+namespace tix::algebra {
+
+/// A phrase (one or more terms) with the weight its occurrences
+/// contribute. Multi-term phrases only count when the terms are
+/// adjacent and in order (PhraseFinder semantics).
+struct WeightedPhrase {
+  std::vector<std::string> terms;
+  double weight = 1.0;
+};
+
+/// The IR predicate attached to a primary IR-node: a set of weighted
+/// phrases. The paper's ScoreFoo takes a primary set A (weight 0.8) and a
+/// desirable set B (weight 0.6); `FooStyle` builds exactly that.
+struct IrPredicate {
+  std::vector<WeightedPhrase> phrases;
+
+  static IrPredicate FooStyle(std::vector<std::string> primary,
+                              std::vector<std::string> desirable);
+
+  size_t num_phrases() const { return phrases.size(); }
+  bool empty() const { return phrases.empty(); }
+
+  /// Weight vector, aligned with phrase index.
+  std::vector<double> Weights() const;
+};
+
+/// One phrase occurrence inside a node's subtree, used by complex
+/// scoring. `word_pos` is the absolute word position of the phrase's
+/// first term.
+struct TermOccurrence {
+  uint32_t phrase_index = 0;
+  uint32_t word_pos = 0;
+  storage::NodeId text_node = storage::kInvalidNodeId;
+};
+
+/// Everything a complex scoring function may inspect for one scored
+/// node (the paper's "BufferAndList" plus child statistics).
+struct ScoreContext {
+  /// Occurrence count per phrase index.
+  std::span<const uint32_t> counts;
+  /// All occurrences in the subtree, ascending by word_pos. Empty when
+  /// the engine runs in simple-scoring mode.
+  std::span<const TermOccurrence> occurrences;
+  /// Child statistics (complex mode only; 0/0 in simple mode).
+  uint32_t total_children = 0;
+  /// Children whose subtree contains at least one query phrase.
+  uint32_t relevant_children = 0;
+  /// The scored element's interval bounds; (end - start) is a
+  /// word-granular size proxy, enabling element-length normalization
+  /// (the "tf*idf taking into consideration the element size" the paper
+  /// sketches in Sec. 3.1).
+  uint32_t element_start = 0;
+  uint32_t element_end = 0;
+
+  uint32_t element_span() const {
+    return element_end > element_start ? element_end - element_start : 0;
+  }
+};
+
+/// Scoring function interface. Implementations must be stateless /
+/// const-callable; one instance is shared across a whole operator tree.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Complex scorers need occurrence positions and child statistics,
+  /// which makes TermJoin keep extra state per stack entry (the paper's
+  /// `if(!s)` branches).
+  virtual bool is_complex() const { return false; }
+
+  /// Simple scoring: per-phrase counts only.
+  virtual double Score(std::span<const uint32_t> counts) const = 0;
+
+  /// Complex scoring; the default ignores the extra information.
+  virtual double ScoreComplex(const ScoreContext& context) const {
+    return Score(context.counts);
+  }
+};
+
+/// The paper's ScoreFoo: weighted sum of per-phrase occurrence counts.
+class WeightedCountScorer : public Scorer {
+ public:
+  explicit WeightedCountScorer(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  double Score(std::span<const uint32_t> counts) const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// tf-idf style scorer: sum over phrases of (1 + log tf) * idf * weight.
+/// The caller supplies idf values (from InvertedIndex statistics).
+class TfIdfScorer : public Scorer {
+ public:
+  TfIdfScorer(std::vector<double> weights, std::vector<double> idf)
+      : weights_(std::move(weights)), idf_(std::move(idf)) {}
+
+  double Score(std::span<const uint32_t> counts) const override;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> idf_;
+};
+
+/// The complex scoring function of Sec. 6.1: the weighted-count base is
+/// boosted when occurrences of *different* phrases are close together
+/// (term distance = offset difference in the same text node, or
+/// `node_distance_factor` * node-id distance across text nodes), then
+/// multiplied by the ratio of relevant children to total children.
+class ComplexProximityScorer : public Scorer {
+ public:
+  explicit ComplexProximityScorer(std::vector<double> weights,
+                                  double node_distance_factor = 10.0)
+      : weights_(std::move(weights)),
+        node_distance_factor_(node_distance_factor) {}
+
+  bool is_complex() const override { return true; }
+  double Score(std::span<const uint32_t> counts) const override;
+  double ScoreComplex(const ScoreContext& context) const override;
+
+ private:
+  std::vector<double> weights_;
+  double node_distance_factor_;
+};
+
+/// BM25-flavoured element scorer: per-phrase saturating term frequency
+/// with element-length normalization — the "more representative of what
+/// an IR system would do" scoring the paper sketches in Sec. 3.1.
+///
+///   score = Σ_i w_i * idf_i * tf_i (k1 + 1) /
+///                     (tf_i + k1 (1 - b + b len/avg_len))
+///
+/// Length comes from the element's interval span, so the engine needs no
+/// extra storage access to normalize.
+class LengthNormalizedScorer : public Scorer {
+ public:
+  LengthNormalizedScorer(std::vector<double> weights, std::vector<double> idf,
+                         double average_element_span, double k1 = 1.2,
+                         double b = 0.75)
+      : weights_(std::move(weights)),
+        idf_(std::move(idf)),
+        average_span_(average_element_span > 0 ? average_element_span : 1.0),
+        k1_(k1),
+        b_(b) {}
+
+  bool is_complex() const override { return true; }
+  /// Without span information, falls back to b = 0 (no normalization).
+  double Score(std::span<const uint32_t> counts) const override;
+  double ScoreComplex(const ScoreContext& context) const override;
+
+ private:
+  double ScoreWithLength(std::span<const uint32_t> counts,
+                         double length) const;
+
+  std::vector<double> weights_;
+  std::vector<double> idf_;
+  double average_span_;
+  double k1_;
+  double b_;
+};
+
+/// The paper's ScoreSim (Fig. 9): number of words occurring in both
+/// inputs (multiset intersection on normalized terms).
+double ScoreSim(std::span<const std::string> a_terms,
+                std::span<const std::string> b_terms);
+
+/// The paper's ScoreBar (Fig. 9): join score + IR score when the IR
+/// score is positive, else 0.
+double ScoreBar(double join_score, double ir_score);
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_SCORING_H_

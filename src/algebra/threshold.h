@@ -1,0 +1,53 @@
+#ifndef TIX_ALGEBRA_THRESHOLD_H_
+#define TIX_ALGEBRA_THRESHOLD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+/// \file
+/// The Threshold operator (Sec. 3.3.1): keep only results whose score
+/// exceeds a value V and/or whose global rank is within K. V-based
+/// thresholding is a plain selection on the score attribute; K-based
+/// thresholding needs the global score distribution, which the physical
+/// operator maintains with a bounded heap (Sec. 5.3).
+
+namespace tix::algebra {
+
+struct ThresholdSpec {
+  /// Keep results with score > min_score (the paper's "score > V").
+  std::optional<double> min_score;
+  /// Keep only the top_k highest-scored results (the paper's
+  /// "stop after K").
+  std::optional<size_t> top_k;
+
+  bool IsNoOp() const { return !min_score.has_value() && !top_k.has_value(); }
+};
+
+/// Reference implementation over materialized (score, payload) pairs:
+/// filters by V, then keeps the K best, returning payload indexes in
+/// descending score order (ties broken by original position, so the
+/// result is deterministic).
+template <typename GetScore>
+std::vector<size_t> ApplyThreshold(size_t n, GetScore&& get_score,
+                                   const ThresholdSpec& spec) {
+  std::vector<size_t> kept;
+  kept.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double score = get_score(i);
+    if (spec.min_score.has_value() && !(score > *spec.min_score)) continue;
+    kept.push_back(i);
+  }
+  std::stable_sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
+    return get_score(a) > get_score(b);
+  });
+  if (spec.top_k.has_value() && kept.size() > *spec.top_k) {
+    kept.resize(*spec.top_k);
+  }
+  return kept;
+}
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_THRESHOLD_H_

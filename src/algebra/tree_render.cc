@@ -1,0 +1,62 @@
+#include "algebra/tree_render.h"
+
+#include "common/string_util.h"
+
+namespace tix::algebra {
+
+namespace {
+
+Status RenderNode(storage::Database* db, const ScoredTreeNode& node,
+                  const RenderOptions& options, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * options.indent_width, ' ');
+  if (node.node() == storage::kInvalidNodeId) {
+    *out += "tix_prod_root";
+  } else {
+    TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                         db->GetNode(node.node()));
+    if (record.is_element()) {
+      *out += db->TagName(record.tag_id);
+    } else {
+      *out += "#text";
+    }
+  }
+  if (node.score().has_value()) {
+    *out += "[";
+    *out += FormatDouble(*node.score(), options.score_decimals);
+    *out += "]";
+  }
+  if (options.show_node_ids && node.node() != storage::kInvalidNodeId) {
+    *out += StrFormat(" #%u", node.node());
+  }
+  out->push_back('\n');
+  for (const auto& child : node.children()) {
+    TIX_RETURN_IF_ERROR(RenderNode(db, *child, options, depth + 1, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> RenderScoredTree(storage::Database* db,
+                                     const ScoredTree& tree,
+                                     const RenderOptions& options) {
+  std::string out;
+  if (tree.empty()) return out;
+  TIX_RETURN_IF_ERROR(RenderNode(db, *tree.root(), options, 0, &out));
+  return out;
+}
+
+Result<std::string> RenderScoredTrees(storage::Database* db,
+                                      const ScoredTreeCollection& trees,
+                                      const RenderOptions& options) {
+  std::string out;
+  for (const ScoredTree& tree : trees) {
+    TIX_ASSIGN_OR_RETURN(const std::string rendered,
+                         RenderScoredTree(db, tree, options));
+    out += rendered;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace tix::algebra

@@ -1,0 +1,37 @@
+#ifndef TIX_ALGEBRA_TREE_RENDER_H_
+#define TIX_ALGEBRA_TREE_RENDER_H_
+
+#include <string>
+
+#include "algebra/scored_tree.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+/// \file
+/// Text rendering of scored data trees in the notation the paper's
+/// figures use: `tag[score] #node`, indented by depth. Virtual product
+/// roots (node id kInvalidNodeId) print as `tix_prod_root`.
+
+namespace tix::algebra {
+
+struct RenderOptions {
+  int indent_width = 2;
+  /// Append the node id as "#<id>" (like the paper's #a10 anchors).
+  bool show_node_ids = true;
+  /// Scores printed with this many decimals; null scores are omitted.
+  int score_decimals = 2;
+};
+
+/// Renders one scored tree.
+Result<std::string> RenderScoredTree(storage::Database* db,
+                                     const ScoredTree& tree,
+                                     const RenderOptions& options = {});
+
+/// Renders a whole collection, separating trees with a blank line.
+Result<std::string> RenderScoredTrees(storage::Database* db,
+                                      const ScoredTreeCollection& trees,
+                                      const RenderOptions& options = {});
+
+}  // namespace tix::algebra
+
+#endif  // TIX_ALGEBRA_TREE_RENDER_H_

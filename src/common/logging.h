@@ -1,0 +1,85 @@
+#ifndef TIX_COMMON_LOGGING_H_
+#define TIX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+
+/// \file
+/// Minimal leveled logging plus CHECK macros. A failed CHECK prints the
+/// message and aborts; checks guard internal invariants, never user input
+/// (user input errors surface as Status).
+
+namespace tix {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tix
+
+#define TIX_LOG(level)                                              \
+  ::tix::internal::LogMessage(::tix::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#define TIX_CHECK(condition)                                          \
+  if (TIX_PREDICT_TRUE(condition)) {                                  \
+  } else /* NOLINT */                                                 \
+    ::tix::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define TIX_CHECK_EQ(a, b) TIX_CHECK((a) == (b))
+#define TIX_CHECK_NE(a, b) TIX_CHECK((a) != (b))
+#define TIX_CHECK_LT(a, b) TIX_CHECK((a) < (b))
+#define TIX_CHECK_LE(a, b) TIX_CHECK((a) <= (b))
+#define TIX_CHECK_GT(a, b) TIX_CHECK((a) > (b))
+#define TIX_CHECK_GE(a, b) TIX_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TIX_DCHECK(condition) TIX_CHECK(condition)
+#else
+#define TIX_DCHECK(condition) \
+  if (true) {                 \
+  } else /* NOLINT */         \
+    ::tix::internal::FatalMessage(__FILE__, __LINE__, #condition)
+#endif
+
+#endif  // TIX_COMMON_LOGGING_H_

@@ -1,0 +1,37 @@
+#ifndef TIX_COMMON_MACROS_H_
+#define TIX_COMMON_MACROS_H_
+
+/// \file
+/// Project-wide helper macros.
+
+// Disallows copy construction and copy assignment. Place in the public
+// section of a class (Google style: make the deleted operations visible).
+#define TIX_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates a non-OK Status from an expression that yields a Status.
+#define TIX_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::tix::Status _tix_status = (expr);          \
+    if (!_tix_status.ok()) return _tix_status;   \
+  } while (false)
+
+// Evaluates an expression yielding Result<T>; on error returns the Status,
+// otherwise assigns the value to `lhs`.
+#define TIX_ASSIGN_OR_RETURN(lhs, expr)                        \
+  TIX_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TIX_MACRO_CONCAT_(_tix_result_, __LINE__), lhs, expr)
+
+#define TIX_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define TIX_MACRO_CONCAT_INNER_(a, b) a##b
+#define TIX_MACRO_CONCAT_(a, b) TIX_MACRO_CONCAT_INNER_(a, b)
+
+#define TIX_PREDICT_FALSE(x) (__builtin_expect(false || (x), false))
+#define TIX_PREDICT_TRUE(x) (__builtin_expect(false || (x), true))
+
+#endif  // TIX_COMMON_MACROS_H_

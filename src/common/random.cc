@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tix {
+
+Random::Random(uint64_t seed) {
+  // splitmix64 seeding avoids the all-zero state and decorrelates nearby
+  // seeds.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t s = seed;
+  state0_ = splitmix(s);
+  state1_ = splitmix(s);
+  if (state0_ == 0 && state1_ == 0) state1_ = 1;
+}
+
+uint64_t Random::NextUint64() {
+  uint64_t s1 = state0_;
+  const uint64_t s0 = state1_;
+  const uint64_t result = s0 + s1;
+  state0_ = s0;
+  s1 ^= s1 << 23;
+  state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return result;
+}
+
+uint64_t Random::NextUint64(uint64_t bound) {
+  TIX_DCHECK(bound > 0);
+  // Rejection sampling removes modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint32_t Random::NextUint32(uint32_t bound) {
+  return static_cast<uint32_t>(NextUint64(bound));
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), rng_(seed) {
+  TIX_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::ProbabilityOfRank(uint64_t k) const {
+  TIX_CHECK(k < n_);
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace tix

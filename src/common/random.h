@@ -1,0 +1,65 @@
+#ifndef TIX_COMMON_RANDOM_H_
+#define TIX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Deterministic random number generation used by the workload generator
+/// and the property tests. Reproducibility matters more than statistical
+/// perfection, hence a fixed xorshift implementation rather than
+/// std::mt19937 (whose streams are also stable, but whose distribution
+/// adapters are not specified bit-for-bit across standard libraries).
+
+namespace tix {
+
+/// xorshift128+ generator: fast, seedable, identical output on all
+/// platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform 32-bit value in [0, bound). `bound` must be > 0.
+  uint32_t NextUint32(uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+/// Samples ranks from a Zipf distribution with exponent `theta` over
+/// `[0, n)`; rank 0 is most frequent. Precomputes the CDF once, then each
+/// sample is a binary search. Used to give the synthetic corpus a
+/// realistic term-frequency distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+  /// Expected relative frequency of rank `k` (probability mass).
+  double ProbabilityOfRank(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+  Random rng_;
+};
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+#ifndef TIX_COMMON_RESULT_H_
+#define TIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+/// \file
+/// `Result<T>` — value-or-Status, in the spirit of arrow::Result /
+/// absl::StatusOr. Library functions that can fail and produce a value
+/// return `Result<T>`.
+
+namespace tix {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result: OK when a value is held.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#ifndef TIX_COMMON_STRING_UTIL_H_
+#define TIX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared by the parser, tokenizer and tools.
+
+namespace tix {
+
+/// Splits on a single character delimiter; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with the separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// ASCII lower-casing (the corpus and query terms are ASCII).
+std::string ToLower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with `digits` decimals, trimming trailing zeros is NOT
+/// done (benchmark tables want aligned columns).
+std::string FormatDouble(double v, int digits);
+
+/// Thousands separator rendering of an integer (e.g. 10000 -> "10,000").
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_STRING_UTIL_H_

@@ -1,0 +1,39 @@
+#ifndef TIX_COMMON_TIMER_H_
+#define TIX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Wall-clock timing for the benchmark harnesses.
+
+namespace tix {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction / last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_TIMER_H_

@@ -1,0 +1,60 @@
+#include "common/varint.h"
+
+namespace tix {
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarintSigned64(std::string* dst, int64_t value) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, zigzag);
+}
+
+Result<uint64_t> GetVarint64(std::string_view* input) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < input->size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>((*input)[i]);
+    ++i;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      input->remove_prefix(i);
+      return result;
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+Result<uint32_t> GetVarint32(std::string_view* input) {
+  TIX_ASSIGN_OR_RETURN(const uint64_t v, GetVarint64(input));
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  return static_cast<uint32_t>(v);
+}
+
+Result<int64_t> GetVarintSigned64(std::string_view* input) {
+  TIX_ASSIGN_OR_RETURN(const uint64_t zigzag, GetVarint64(input));
+  return static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace tix

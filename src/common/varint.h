@@ -1,0 +1,36 @@
+#ifndef TIX_COMMON_VARINT_H_
+#define TIX_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file
+/// LEB128 varint coding used by the inverted-index persistence layer
+/// (postings are delta-encoded then varint-packed, as real IR systems do).
+
+namespace tix {
+
+/// Appends the varint encoding of `value` to `dst`.
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a 32-bit varint.
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Zig-zag encodes a signed value then varint-packs it.
+void PutVarintSigned64(std::string* dst, int64_t value);
+
+/// Decodes a varint from the front of `*input`, advancing it past the
+/// encoded bytes. Returns Corruption on truncated/overlong input.
+Result<uint64_t> GetVarint64(std::string_view* input);
+Result<uint32_t> GetVarint32(std::string_view* input);
+Result<int64_t> GetVarintSigned64(std::string_view* input);
+
+/// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t value);
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_VARINT_H_

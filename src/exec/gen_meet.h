@@ -1,0 +1,53 @@
+#ifndef TIX_EXEC_GEN_MEET_H_
+#define TIX_EXEC_GEN_MEET_H_
+
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "exec/scored_element.h"
+#include "index/inverted_index.h"
+#include "storage/database.h"
+
+/// \file
+/// Generalized Meet (Sec. 6.1): the adaptation of Schmidt et al.'s
+/// `meet` operator [22]. For every term occurrence it recursively
+/// retrieves the ancestor chain, groups ancestors by node id, and
+/// accumulates term occurrences; afterwards each grouped ancestor is
+/// scored. Unlike TermJoin it re-walks the chain for every occurrence
+/// (one record fetch per step) and pays a hash update per
+/// (occurrence, ancestor) pair, which is why TermJoin overtakes it as
+/// term frequency grows.
+
+namespace tix::exec {
+
+struct GenMeetStats {
+  uint64_t occurrences = 0;
+  uint64_t chain_steps = 0;
+  uint64_t record_fetches = 0;
+  uint64_t outputs = 0;
+};
+
+class GeneralizedMeet {
+ public:
+  GeneralizedMeet(storage::Database* db, const index::InvertedIndex* index,
+                  const algebra::IrPredicate* predicate,
+                  const algebra::Scorer* scorer);
+
+  /// Runs to completion; output sorted by node id. Scores agree exactly
+  /// with TermJoin's.
+  Result<std::vector<ScoredElement>> Run();
+
+  const GenMeetStats& stats() const { return stats_; }
+
+ private:
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  const algebra::IrPredicate* predicate_;
+  const algebra::Scorer* scorer_;
+  GenMeetStats stats_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_GEN_MEET_H_

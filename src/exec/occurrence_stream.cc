@@ -1,0 +1,152 @@
+#include "exec/occurrence_stream.h"
+
+#include <algorithm>
+
+namespace tix::exec {
+
+std::vector<Occurrence> OccurrenceStream::DrainAll() {
+  std::vector<Occurrence> out;
+  while (auto occurrence = Peek()) {
+    out.push_back(*occurrence);
+    Advance();
+  }
+  return out;
+}
+
+std::optional<Occurrence> TermOccurrenceStream::Peek() const {
+  if (list_ == nullptr || pos_ >= list_->postings.size()) return std::nullopt;
+  const index::Posting& posting = list_->postings[pos_];
+  return Occurrence{posting.doc_id, posting.node_id, posting.word_pos};
+}
+
+void TermOccurrenceStream::Advance() {
+  if (list_ != nullptr && pos_ < list_->postings.size()) ++pos_;
+}
+
+PhraseFinderStream::PhraseFinderStream(
+    std::vector<const index::PostingList*> lists, bool galloping)
+    : lists_(std::move(lists)),
+      positions_(lists_.size(), 0),
+      galloping_(galloping) {
+  for (const index::PostingList* list : lists_) {
+    if (list == nullptr || list->empty()) {
+      exhausted_ = true;
+      break;
+    }
+  }
+  if (lists_.empty()) exhausted_ = true;
+  if (!exhausted_) FindNextMatch();
+}
+
+std::optional<Occurrence> PhraseFinderStream::Peek() const {
+  return current_;
+}
+
+void PhraseFinderStream::Advance() {
+  if (exhausted_) {
+    current_.reset();
+    return;
+  }
+  ++positions_[0];
+  FindNextMatch();
+}
+
+bool PhraseFinderStream::AdvanceCursor(size_t i, storage::DocId doc,
+                                       uint32_t target_pos) {
+  const std::vector<index::Posting>& postings = lists_[i]->postings;
+  size_t& cursor = positions_[i];
+  auto before_target = [&](const index::Posting& posting) {
+    return posting.doc_id < doc ||
+           (posting.doc_id == doc && posting.word_pos < target_pos);
+  };
+  if (!galloping_) {
+    while (cursor < postings.size() && before_target(postings[cursor])) {
+      ++cursor;
+      ++postings_scanned_;
+    }
+    return cursor < postings.size();
+  }
+  // Galloping: double the step until we overshoot, then binary search in
+  // the bracketed range. O(log gap) instead of O(gap).
+  if (cursor >= postings.size() || !before_target(postings[cursor])) {
+    return cursor < postings.size();
+  }
+  size_t step = 1;
+  size_t low = cursor;
+  size_t high = cursor + step;
+  while (high < postings.size() && before_target(postings[high])) {
+    low = high;
+    step *= 2;
+    high = cursor + step;
+    ++postings_scanned_;
+  }
+  high = std::min(high, postings.size());
+  // Invariant: postings[low] is before target, postings[high] (if any)
+  // is not. Binary search in (low, high].
+  while (low + 1 < high) {
+    const size_t mid = low + (high - low) / 2;
+    ++postings_scanned_;
+    if (before_target(postings[mid])) {
+      low = mid;
+    } else {
+      high = mid;
+    }
+  }
+  cursor = high;
+  return cursor < postings.size();
+}
+
+void PhraseFinderStream::FindNextMatch() {
+  current_.reset();
+  const std::vector<index::Posting>& first = lists_[0]->postings;
+  while (positions_[0] < first.size()) {
+    const index::Posting& anchor = first[positions_[0]];
+    ++postings_scanned_;
+    bool match = true;
+    for (size_t i = 1; i < lists_.size(); ++i) {
+      const std::vector<index::Posting>& postings = lists_[i]->postings;
+      const uint32_t target_pos = anchor.word_pos + static_cast<uint32_t>(i);
+      if (!AdvanceCursor(i, anchor.doc_id, target_pos)) {
+        // This term can never match again: the whole stream is done.
+        exhausted_ = true;
+        return;
+      }
+      const index::Posting& candidate = postings[positions_[i]];
+      if (candidate.doc_id != anchor.doc_id ||
+          candidate.word_pos != target_pos ||
+          candidate.node_id != anchor.node_id) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      current_ = Occurrence{anchor.doc_id, anchor.node_id, anchor.word_pos};
+      return;
+    }
+    ++positions_[0];
+  }
+  exhausted_ = true;
+}
+
+std::vector<std::unique_ptr<OccurrenceStream>> MakeOccurrenceStreams(
+    const index::InvertedIndex& index, const algebra::IrPredicate& predicate) {
+  std::vector<std::unique_ptr<OccurrenceStream>> streams;
+  streams.reserve(predicate.phrases.size());
+  for (const algebra::WeightedPhrase& phrase : predicate.phrases) {
+    if (phrase.terms.size() == 1) {
+      streams.push_back(std::make_unique<TermOccurrenceStream>(
+          index.Lookup(phrase.terms[0])));
+    } else {
+      std::vector<const index::PostingList*> lists;
+      lists.reserve(phrase.terms.size());
+      for (const std::string& term : phrase.terms) {
+        lists.push_back(index.Lookup(term));
+      }
+      streams.push_back(
+          std::make_unique<PhraseFinderStream>(std::move(lists)));
+    }
+  }
+  return streams;
+}
+
+}  // namespace tix::exec

@@ -1,0 +1,101 @@
+#ifndef TIX_EXEC_OCCURRENCE_STREAM_H_
+#define TIX_EXEC_OCCURRENCE_STREAM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "index/inverted_index.h"
+
+/// \file
+/// Occurrence streams: cursors producing (doc, text node, word position)
+/// triples in document order, one stream per query phrase. Single terms
+/// read a posting list directly; multi-term phrases are verified on the
+/// fly by the PhraseFinder merge (Sec. 5.1.2), so TermJoin is oblivious
+/// to whether a "term" is a phrase.
+
+namespace tix::exec {
+
+/// One phrase occurrence (position of the phrase's first term).
+struct Occurrence {
+  storage::DocId doc = 0;
+  storage::NodeId text_node = storage::kInvalidNodeId;
+  uint32_t word_pos = 0;
+};
+
+/// Pull cursor over occurrences in (doc, word_pos) order.
+class OccurrenceStream {
+ public:
+  virtual ~OccurrenceStream() = default;
+
+  /// Current occurrence; nullopt when exhausted.
+  virtual std::optional<Occurrence> Peek() const = 0;
+  virtual void Advance() = 0;
+
+  /// Drains the rest of the stream (testing / materializing callers).
+  std::vector<Occurrence> DrainAll();
+};
+
+/// Stream over a single term's posting list. An absent term yields an
+/// empty stream.
+class TermOccurrenceStream : public OccurrenceStream {
+ public:
+  /// `list` may be nullptr (unknown term); the stream is then empty.
+  explicit TermOccurrenceStream(const index::PostingList* list)
+      : list_(list) {}
+
+  std::optional<Occurrence> Peek() const override;
+  void Advance() override;
+
+ private:
+  const index::PostingList* list_;
+  size_t pos_ = 0;
+};
+
+/// The PhraseFinder access method (Sec. 5.1.2): merges the posting lists
+/// of the phrase's terms, emitting an occurrence exactly when term i
+/// appears at offset first+i of the same text node, for all i. The
+/// verification happens inside the merge — no text access, no
+/// materialized intersection.
+class PhraseFinderStream : public OccurrenceStream {
+ public:
+  /// `lists[i]` is the posting list of the phrase's i-th term; any
+  /// nullptr makes the stream empty. With `galloping`, cursor advances
+  /// use exponential (galloping) search instead of linear stepping —
+  /// profitable when term frequencies are very unbalanced (an extension
+  /// benchmarked in bench_micro; the paper's merge is linear).
+  explicit PhraseFinderStream(std::vector<const index::PostingList*> lists,
+                              bool galloping = false);
+
+  std::optional<Occurrence> Peek() const override;
+  void Advance() override;
+
+  /// Number of posting entries examined (instrumentation for the
+  /// Table 5 ablation).
+  uint64_t postings_scanned() const { return postings_scanned_; }
+
+ private:
+  void FindNextMatch();
+  /// Advances cursor `i` to the first posting at or beyond
+  /// (doc, target_pos); returns false when the list is exhausted.
+  bool AdvanceCursor(size_t i, storage::DocId doc, uint32_t target_pos);
+
+  std::vector<const index::PostingList*> lists_;
+  std::vector<size_t> positions_;
+  std::optional<Occurrence> current_;
+  bool exhausted_ = false;
+  bool galloping_ = false;
+  uint64_t postings_scanned_ = 0;
+};
+
+/// Builds one occurrence stream per phrase of `predicate`, looking terms
+/// up in `index`. Missing terms produce empty streams (score 0, as the
+/// algebra prescribes for absent phrases).
+std::vector<std::unique_ptr<OccurrenceStream>> MakeOccurrenceStreams(
+    const index::InvertedIndex& index, const algebra::IrPredicate& predicate);
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_OCCURRENCE_STREAM_H_

@@ -1,0 +1,223 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "exec/structural_join.h"
+
+namespace tix::exec {
+
+Result<std::vector<ScoredElement>> Drain(Operator& op) {
+  TIX_RETURN_IF_ERROR(op.Open());
+  std::vector<ScoredElement> out;
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element, op.Next());
+    if (!element.has_value()) break;
+    out.push_back(std::move(*element));
+  }
+  TIX_RETURN_IF_ERROR(op.Close());
+  return out;
+}
+
+namespace {
+void ExplainImpl(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += op.name();
+  const std::string description = op.description();
+  if (!description.empty()) {
+    *out += "(";
+    *out += description;
+    *out += ")";
+  }
+  out->push_back('\n');
+  for (const Operator* child : op.children()) {
+    ExplainImpl(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  ExplainImpl(root, 0, &out);
+  return out;
+}
+
+// ---------------------------------------------------------- VectorSource
+
+Result<std::optional<ScoredElement>> VectorSource::Next() {
+  if (pos_ >= elements_.size()) return std::optional<ScoredElement>();
+  return std::optional<ScoredElement>(elements_[pos_++]);
+}
+
+std::string VectorSource::description() const {
+  return StrFormat("%zu elements", elements_.size());
+}
+
+// ----------------------------------------------------------------- scans
+
+Status TagScanOperator::Open() {
+  TIX_ASSIGN_OR_RETURN(elements_, TagScan(db_, tag_));
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<ScoredElement>> TagScanOperator::Next() {
+  if (pos_ >= elements_.size()) return std::optional<ScoredElement>();
+  return std::optional<ScoredElement>(elements_[pos_++]);
+}
+
+Status TermJoinOperator::Open() {
+  join_ = std::make_unique<TermJoin>(db_, index_, predicate_, scorer_,
+                                     options_);
+  return join_->Open();
+}
+
+Result<std::optional<ScoredElement>> TermJoinOperator::Next() {
+  return join_->Next();
+}
+
+Status TermJoinOperator::Close() {
+  join_.reset();
+  return Status::OK();
+}
+
+std::string TermJoinOperator::description() const {
+  std::string out = StrFormat("%zu phrases, %s", predicate_->num_phrases(),
+                              scorer_->is_complex() ? "complex" : "simple");
+  return out;
+}
+
+// ---------------------------------------------------------------- Filter
+
+Result<std::optional<ScoredElement>> FilterOperator::Next() {
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element,
+                         child_->Next());
+    if (!element.has_value()) return element;
+    if (predicate_(*element)) return element;
+  }
+}
+
+// ------------------------------------------------------------------ Sort
+
+Status SortOperator::Open() {
+  TIX_RETURN_IF_ERROR(child_->Open());
+  sorted_.clear();
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element,
+                         child_->Next());
+    if (!element.has_value()) break;
+    sorted_.push_back(std::move(*element));
+  }
+  if (order_ == Order::kDocumentOrder) {
+    std::sort(sorted_.begin(), sorted_.end(), DocumentOrderLess);
+  } else {
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const ScoredElement& a, const ScoredElement& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return DocumentOrderLess(a, b);
+              });
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<ScoredElement>> SortOperator::Next() {
+  if (pos_ >= sorted_.size()) return std::optional<ScoredElement>();
+  return std::optional<ScoredElement>(sorted_[pos_++]);
+}
+
+// ------------------------------------------------------------- Threshold
+
+Status ThresholdPlanOperator::Open() {
+  TIX_RETURN_IF_ERROR(child_->Open());
+  ThresholdOperator threshold(spec_);
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element,
+                         child_->Next());
+    if (!element.has_value()) break;
+    threshold.Push(std::move(*element));
+  }
+  kept_ = threshold.Finish();
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<ScoredElement>> ThresholdPlanOperator::Next() {
+  if (pos_ >= kept_.size()) return std::optional<ScoredElement>();
+  return std::optional<ScoredElement>(kept_[pos_++]);
+}
+
+std::string ThresholdPlanOperator::description() const {
+  std::string out;
+  if (spec_.min_score.has_value()) {
+    out += StrFormat("score > %.2f", *spec_.min_score);
+  }
+  if (spec_.top_k.has_value()) {
+    if (!out.empty()) out += ", ";
+    out += StrFormat("top %zu", *spec_.top_k);
+  }
+  return out;
+}
+
+// --------------------------------------------------------- ScopeSemiJoin
+
+Status ScopeSemiJoinOperator::Open() {
+  TIX_RETURN_IF_ERROR(anchors_->Open());
+  anchor_list_.clear();
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element,
+                         anchors_->Next());
+    if (!element.has_value()) break;
+    anchor_list_.push_back(std::move(*element));
+  }
+  TIX_RETURN_IF_ERROR(anchors_->Close());
+  std::sort(anchor_list_.begin(), anchor_list_.end(), DocumentOrderLess);
+  anchor_pos_ = 0;
+  open_anchors_.clear();
+  return probe_->Open();
+}
+
+bool ScopeSemiJoinOperator::InScope(const ScoredElement& element) {
+  auto contains_or_self = [](const ScoredElement& a, const ScoredElement& b) {
+    return a.doc == b.doc && a.start <= b.start && b.end <= a.end;
+  };
+  // Open every anchor starting at or before the element (probe arrives
+  // in document order, so this cursor only moves forward).
+  while (anchor_pos_ < anchor_list_.size() &&
+         (anchor_list_[anchor_pos_].doc < element.doc ||
+          (anchor_list_[anchor_pos_].doc == element.doc &&
+           anchor_list_[anchor_pos_].start <= element.start))) {
+    const ScoredElement& anchor = anchor_list_[anchor_pos_];
+    while (!open_anchors_.empty() &&
+           !contains_or_self(open_anchors_.back(), anchor)) {
+      open_anchors_.pop_back();
+    }
+    open_anchors_.push_back(anchor);
+    ++anchor_pos_;
+  }
+  // Close anchors that end before the element.
+  while (!open_anchors_.empty() &&
+         !contains_or_self(open_anchors_.back(), element)) {
+    open_anchors_.pop_back();
+  }
+  if (open_anchors_.empty()) return false;
+  if (or_self_) return true;
+  const ScoredElement& innermost = open_anchors_.back();
+  // Strict containment: reject the self match, but accept when an outer
+  // open anchor (necessarily a strict ancestor) exists.
+  return !(innermost.node == element.node) || open_anchors_.size() > 1;
+}
+
+Result<std::optional<ScoredElement>> ScopeSemiJoinOperator::Next() {
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element,
+                         probe_->Next());
+    if (!element.has_value()) return element;
+    if (InScope(*element)) return element;
+  }
+}
+
+Status ScopeSemiJoinOperator::Close() { return probe_->Close(); }
+
+}  // namespace tix::exec

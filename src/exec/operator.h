@@ -1,0 +1,236 @@
+#ifndef TIX_EXEC_OPERATOR_H_
+#define TIX_EXEC_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/threshold.h"
+#include "common/result.h"
+#include "exec/scored_element.h"
+#include "exec/term_join.h"
+#include "exec/threshold_operator.h"
+#include "storage/database.h"
+
+/// \file
+/// The pipelined operator framework (Sec. 5's "set-oriented, pipelined,
+/// database-style query evaluation engine"): pull-based Open/Next/Close
+/// iterators over scored elements. TermJoin participates as a
+/// *non-blocking* source — elements stream out while the posting merge
+/// is still running; Sort/Top-K are the only blocking operators, and
+/// Pick blocks per input tree (Sec. 5.3's "blocking until some node is
+/// determined to be not worth returning").
+
+namespace tix::exec {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// nullopt signals end of stream.
+  virtual Result<std::optional<ScoredElement>> Next() = 0;
+  virtual Status Close() { return Status::OK(); }
+
+  /// Operator name for plan explanation, e.g. "TermJoin".
+  virtual std::string name() const = 0;
+  /// One-line parameter summary appended to the name.
+  virtual std::string description() const { return ""; }
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+/// Opens, drains and closes `op`.
+Result<std::vector<ScoredElement>> Drain(Operator& op);
+
+/// Indented plan tree, one operator per line.
+std::string ExplainPlan(const Operator& root);
+
+// --------------------------------------------------------------- sources
+
+/// Streams a materialized vector (testing, and hand-built plans).
+class VectorSource : public Operator {
+ public:
+  explicit VectorSource(std::vector<ScoredElement> elements)
+      : elements_(std::move(elements)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<ScoredElement>> Next() override;
+  std::string name() const override { return "VectorSource"; }
+  std::string description() const override;
+
+ private:
+  std::vector<ScoredElement> elements_;
+  size_t pos_ = 0;
+};
+
+/// Index scan over all elements with a tag, in document order.
+class TagScanOperator : public Operator {
+ public:
+  TagScanOperator(storage::Database* db, std::string tag)
+      : db_(db), tag_(std::move(tag)) {}
+
+  Status Open() override;
+  Result<std::optional<ScoredElement>> Next() override;
+  std::string name() const override { return "TagScan"; }
+  std::string description() const override { return tag_; }
+
+ private:
+  storage::Database* db_;
+  std::string tag_;
+  std::vector<ScoredElement> elements_;
+  size_t pos_ = 0;
+};
+
+/// The TermJoin access method as a streaming source.
+class TermJoinOperator : public Operator {
+ public:
+  TermJoinOperator(storage::Database* db, const index::InvertedIndex* index,
+                   const algebra::IrPredicate* predicate,
+                   const algebra::Scorer* scorer, TermJoinOptions options = {})
+      : db_(db),
+        index_(index),
+        predicate_(predicate),
+        scorer_(scorer),
+        options_(options) {}
+
+  Status Open() override;
+  Result<std::optional<ScoredElement>> Next() override;
+  Status Close() override;
+  std::string name() const override {
+    return options_.enhanced ? "EnhancedTermJoin" : "TermJoin";
+  }
+  std::string description() const override;
+
+  const TermJoinStats* stats() const {
+    return join_ ? &join_->stats() : nullptr;
+  }
+
+ private:
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  const algebra::IrPredicate* predicate_;
+  const algebra::Scorer* scorer_;
+  TermJoinOptions options_;
+  std::unique_ptr<TermJoin> join_;
+};
+
+// ----------------------------------------------------------------- unary
+
+/// Streaming predicate filter.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(std::unique_ptr<Operator> child, std::string label,
+                 std::function<bool(const ScoredElement&)> predicate)
+      : child_(std::move(child)),
+        label_(std::move(label)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<std::optional<ScoredElement>> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Filter"; }
+  std::string description() const override { return label_; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::string label_;
+  std::function<bool(const ScoredElement&)> predicate_;
+};
+
+/// Blocking sort. Orders: document order or descending score.
+class SortOperator : public Operator {
+ public:
+  enum class Order { kDocumentOrder, kScoreDescending };
+
+  SortOperator(std::unique_ptr<Operator> child, Order order)
+      : child_(std::move(child)), order_(order) {}
+
+  Status Open() override;
+  Result<std::optional<ScoredElement>> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Sort"; }
+  std::string description() const override {
+    return order_ == Order::kDocumentOrder ? "doc order" : "score desc";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Order order_;
+  std::vector<ScoredElement> sorted_;
+  size_t pos_ = 0;
+};
+
+/// Blocking Threshold (Sec. 3.3.1): V-filter plus bounded-memory top-K.
+class ThresholdPlanOperator : public Operator {
+ public:
+  ThresholdPlanOperator(std::unique_ptr<Operator> child,
+                        algebra::ThresholdSpec spec)
+      : child_(std::move(child)), spec_(spec) {}
+
+  Status Open() override;
+  Result<std::optional<ScoredElement>> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Threshold"; }
+  std::string description() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  algebra::ThresholdSpec spec_;
+  std::vector<ScoredElement> kept_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- binary
+
+/// Structural semijoin: streams elements of the probe child that are
+/// contained in (or equal to, with `or_self`) some element of the anchor
+/// child. The anchor side is materialized at Open; the probe side
+/// streams. Probe input must arrive in document order.
+class ScopeSemiJoinOperator : public Operator {
+ public:
+  ScopeSemiJoinOperator(std::unique_ptr<Operator> probe,
+                        std::unique_ptr<Operator> anchors, bool or_self)
+      : probe_(std::move(probe)),
+        anchors_(std::move(anchors)),
+        or_self_(or_self) {}
+
+  Status Open() override;
+  Result<std::optional<ScoredElement>> Next() override;
+  Status Close() override;
+  std::string name() const override { return "ScopeSemiJoin"; }
+  std::string description() const override {
+    return or_self_ ? "descendant-or-self" : "descendant";
+  }
+  std::vector<const Operator*> children() const override {
+    return {probe_.get(), anchors_.get()};
+  }
+
+ private:
+  bool InScope(const ScoredElement& element);
+
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> anchors_;
+  bool or_self_;
+  std::vector<ScoredElement> anchor_list_;  // sorted in document order
+  // Streaming stack-join state over the (sorted) anchor list.
+  size_t anchor_pos_ = 0;
+  std::vector<ScoredElement> open_anchors_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_OPERATOR_H_

@@ -1,0 +1,142 @@
+#include "exec/path_stack.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "exec/structural_join.h"
+
+namespace tix::exec {
+
+namespace {
+
+struct StackEntry {
+  ScoredElement element;
+  /// Highest index in the previous step's stack that contained this
+  /// element when it was pushed (-1 when the previous stack was empty,
+  /// which only happens for step 0).
+  int parent_limit;
+};
+
+}  // namespace
+
+Result<std::vector<PathMatch>> PathStackJoin::Run() {
+  const size_t k = steps_.size();
+  if (k == 0) return Status::InvalidArgument("empty path pattern");
+
+  // Materialize one document-order stream per step.
+  std::vector<std::vector<ScoredElement>> streams(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (!steps_[i].tag.empty()) {
+      TIX_ASSIGN_OR_RETURN(streams[i], TagScan(db_, steps_[i].tag));
+    } else {
+      // Wildcard step: every element.
+      for (storage::NodeId id = 0; id < db_->num_nodes(); ++id) {
+        TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                             db_->GetNode(id));
+        if (!record.is_element()) continue;
+        ScoredElement element;
+        element.node = id;
+        element.doc = record.doc_id;
+        element.start = record.start;
+        element.end = record.end;
+        element.level = record.level;
+        streams[i].push_back(element);
+      }
+    }
+    stats_.elements_scanned += streams[i].size();
+  }
+
+  std::vector<size_t> cursor(k, 0);
+  std::vector<std::vector<StackEntry>> stacks(k);
+  std::vector<PathMatch> out;
+
+  // Recursive expansion of all chains ending at `chain_tail` (the
+  // element chosen for step `step + 1`), drawing step `step` from stack
+  // indices [0, limit].
+  std::function<void(int, int, const ScoredElement&, PathMatch*)> expand =
+      [&](int step, int limit, const ScoredElement& chain_tail,
+          PathMatch* current) {
+        if (step < 0) {
+          PathMatch match(*current);
+          std::reverse(match.begin(), match.end());
+          out.push_back(std::move(match));
+          ++stats_.solutions;
+          return;
+        }
+        for (int idx = 0; idx <= limit; ++idx) {
+          const StackEntry& entry = stacks[static_cast<size_t>(step)]
+                                          [static_cast<size_t>(idx)];
+          // pc edge between this step and the next: the tail's parent
+          // must be exactly this entry.
+          if (steps_[static_cast<size_t>(step) + 1].parent_child &&
+              db_->ParentFromIndex(chain_tail.node) != entry.element.node) {
+            continue;
+          }
+          current->push_back(entry.element.node);
+          expand(step - 1, entry.parent_limit, entry.element, current);
+          current->pop_back();
+        }
+      };
+
+  for (;;) {
+    // qmin: stream with the smallest (doc, start) head.
+    int qmin = -1;
+    for (size_t i = 0; i < k; ++i) {
+      if (cursor[i] >= streams[i].size()) continue;
+      if (qmin < 0 ||
+          DocumentOrderLess(streams[i][cursor[i]],
+                            streams[static_cast<size_t>(qmin)]
+                                   [cursor[static_cast<size_t>(qmin)]])) {
+        qmin = static_cast<int>(i);
+      }
+    }
+    if (qmin < 0) break;
+    const ScoredElement head =
+        streams[static_cast<size_t>(qmin)][cursor[static_cast<size_t>(qmin)]];
+    ++cursor[static_cast<size_t>(qmin)];
+
+    // Clean every stack: pop entries that ended before the head (they
+    // cannot contain the head or anything after it). An entry for the
+    // *same* node (one element matching two steps) must stay resident —
+    // it can still contain future elements — but must not count as a
+    // strict ancestor of itself, which the parent-limit computation
+    // below excludes.
+    for (size_t i = 0; i < k; ++i) {
+      while (!stacks[i].empty() &&
+             !(stacks[i].back().element.doc == head.doc &&
+               head.start < stacks[i].back().element.end)) {
+        stacks[i].pop_back();
+      }
+    }
+
+    const size_t step = static_cast<size_t>(qmin);
+    int parent_limit = -1;
+    if (step > 0) {
+      parent_limit = static_cast<int>(stacks[step - 1].size()) - 1;
+      // Exclude a self entry (nesting means at most the top can be one).
+      if (parent_limit >= 0 &&
+          stacks[step - 1][static_cast<size_t>(parent_limit)]
+                  .element.node == head.node) {
+        --parent_limit;
+      }
+      if (parent_limit < 0) {
+        // No ancestor chain can pass through this element: skip it.
+        continue;
+      }
+    }
+    if (step == k - 1) {
+      // Leaf: expand solutions immediately; the leaf never needs to go
+      // on a stack.
+      PathMatch current;
+      current.push_back(head.node);
+      expand(static_cast<int>(k) - 2, parent_limit, head, &current);
+    } else {
+      stacks[step].push_back(StackEntry{head, parent_limit});
+      ++stats_.pushes;
+    }
+  }
+  return out;
+}
+
+}  // namespace tix::exec

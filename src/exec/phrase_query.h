@@ -1,0 +1,75 @@
+#ifndef TIX_EXEC_PHRASE_QUERY_H_
+#define TIX_EXEC_PHRASE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "storage/database.h"
+
+/// \file
+/// Phrase matching: the PhraseFinder access method versus the composite
+/// of basic access methods (Comp3) it is compared against in Table 5.
+/// Both return, per text node, the number of occurrences of the exact
+/// phrase (terms adjacent and in order).
+
+namespace tix::exec {
+
+struct PhraseResult {
+  storage::NodeId text_node = storage::kInvalidNodeId;
+  storage::DocId doc = 0;
+  uint32_t count = 0;
+
+  friend bool operator==(const PhraseResult&, const PhraseResult&) = default;
+};
+
+struct PhraseQueryStats {
+  /// Posting entries touched during the merge / materialization.
+  uint64_t postings_scanned = 0;
+  /// Candidate text nodes that reached the verification step (Comp3).
+  uint64_t candidates = 0;
+  /// Stored-text bytes fetched for re-verification (Comp3).
+  uint64_t text_bytes_fetched = 0;
+  uint64_t record_fetches = 0;
+  uint64_t outputs = 0;
+};
+
+/// PhraseFinder (Sec. 5.1.2): verifies word offsets *during* the posting
+/// intersection; no stored text is touched.
+class PhraseFinderQuery {
+ public:
+  PhraseFinderQuery(storage::Database* db, const index::InvertedIndex* index,
+                    std::vector<std::string> terms);
+
+  Result<std::vector<PhraseResult>> Run();
+  const PhraseQueryStats& stats() const { return stats_; }
+
+ private:
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  std::vector<std::string> terms_;
+  PhraseQueryStats stats_;
+};
+
+/// Comp3 (Sec. 6.2): per-term index access, node-id intersection, then a
+/// filter that fetches each candidate text node's stored text and
+/// re-checks that the offsets are exactly 1 apart and in phrase order.
+class Comp3 {
+ public:
+  Comp3(storage::Database* db, const index::InvertedIndex* index,
+        std::vector<std::string> terms);
+
+  Result<std::vector<PhraseResult>> Run();
+  const PhraseQueryStats& stats() const { return stats_; }
+
+ private:
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  std::vector<std::string> terms_;
+  PhraseQueryStats stats_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_PHRASE_QUERY_H_

@@ -1,0 +1,133 @@
+#include "exec/pick_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tix::exec {
+
+Result<std::vector<storage::NodeId>> PickOperator::Run(
+    const std::vector<PickEntry>& entries) {
+  std::vector<storage::NodeId> out;
+  if (entries.empty()) return out;
+  if (entries[0].level != 0) {
+    return Status::InvalidArgument("pick input must start at the tree root");
+  }
+  stats_.input_nodes = entries.size();
+
+  // Pass 1 — worth stack: pre-order scan; an entry pops when the next
+  // entry is not its descendant, at which point its child counts are
+  // final and DetWorth decides.
+  struct WorthFrame {
+    size_t entry_index;
+    algebra::PickNodeInfo info;
+  };
+  std::vector<uint8_t> worth(entries.size(), 0);
+  std::vector<WorthFrame> stack;
+  const double threshold = criterion_->relevance_threshold();
+
+  auto pop_frame = [&]() {
+    const WorthFrame frame = stack.back();
+    stack.pop_back();
+    worth[frame.entry_index] = criterion_->DetWorth(frame.info) ? 1 : 0;
+    if (worth[frame.entry_index] != 0) ++stats_.worth_nodes;
+  };
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const PickEntry& entry = entries[i];
+    // Entries above or at this level are complete.
+    while (!stack.empty() &&
+           entries[stack.back().entry_index].level >= entry.level) {
+      pop_frame();
+    }
+    if (!stack.empty()) {
+      if (entries[stack.back().entry_index].level + 1 != entry.level) {
+        return Status::InvalidArgument(
+            "pick input levels do not form a pre-order tree");
+      }
+      algebra::PickNodeInfo& parent_info = stack.back().info;
+      ++parent_info.total_children;
+      if (entry.score >= threshold) ++parent_info.relevant_children;
+    } else if (i != 0) {
+      return Status::InvalidArgument("pick input has multiple roots");
+    }
+    WorthFrame frame;
+    frame.entry_index = i;
+    frame.info.node = entry.node;
+    frame.info.level = entry.level;
+    frame.info.score = entry.score;
+    frame.info.has_parent = entry.level > 0;
+    stack.push_back(frame);
+    stats_.max_stack_depth =
+        std::max(stats_.max_stack_depth, static_cast<uint64_t>(stack.size()));
+  }
+  while (!stack.empty()) pop_frame();
+
+  // Pass 2 — answer stack: pre-order scan applying redundancy
+  // elimination against picked ancestors.
+  struct AnswerFrame {
+    uint16_t level;
+    algebra::PickNodeInfo info;
+    bool picked;
+  };
+  std::vector<AnswerFrame> answer_stack;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const PickEntry& entry = entries[i];
+    while (!answer_stack.empty() &&
+           answer_stack.back().level >= entry.level) {
+      answer_stack.pop_back();
+    }
+    algebra::PickNodeInfo info;
+    info.node = entry.node;
+    info.level = entry.level;
+    info.score = entry.score;
+    info.has_parent = entry.level > 0;
+    // Child statistics are only needed for IsSameClass hooks; recompute
+    // lazily is unnecessary because the default and shipped criteria
+    // decide on levels. Worth was fixed in pass 1.
+    bool picked = worth[i] != 0;
+    if (picked) {
+      for (const AnswerFrame& frame : answer_stack) {
+        if (frame.picked && criterion_->IsSameClass(info, frame.info)) {
+          picked = false;
+          break;
+        }
+      }
+    }
+    if (picked) {
+      out.push_back(entry.node);
+      ++stats_.outputs;
+    }
+    answer_stack.push_back(AnswerFrame{entry.level, info, picked});
+  }
+  return out;
+}
+
+std::vector<PickEntry> FlattenForPick(const algebra::ScoredTree& tree) {
+  std::vector<PickEntry> out;
+  if (tree.empty()) return out;
+  struct Frame {
+    const algebra::ScoredTreeNode* node;
+    uint16_t level;
+    size_t child_index;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{tree.root(), 0, 0});
+  out.push_back(PickEntry{tree.root()->node(), 0, tree.root()->score_or_zero()});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.child_index < frame.node->children().size()) {
+      const algebra::ScoredTreeNode* child =
+          frame.node->children()[frame.child_index].get();
+      ++frame.child_index;
+      const uint16_t level = static_cast<uint16_t>(frame.level + 1);
+      out.push_back(PickEntry{child->node(), level, child->score_or_zero()});
+      stack.push_back(Frame{child, level, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace tix::exec

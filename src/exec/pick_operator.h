@@ -1,0 +1,64 @@
+#ifndef TIX_EXEC_PICK_OPERATOR_H_
+#define TIX_EXEC_PICK_OPERATOR_H_
+
+#include <vector>
+
+#include "algebra/pick.h"
+#include "algebra/scored_tree.h"
+#include "common/result.h"
+#include "storage/node_record.h"
+
+/// \file
+/// The stack-based Pick access method (Fig. 12). Input: one scored data
+/// tree, streamed in document (pre-) order as (node, level, score)
+/// entries. The algorithm makes one forward pass with a worth stack —
+/// when an entry pops, its child statistics are complete and DetWorth is
+/// decided — and one forward pass with an answer stack of picked
+/// ancestors applying IsSameClass redundancy elimination. Both passes
+/// are linear; the operator blocks exactly as the paper describes
+/// (a node's membership can only be emitted once its subtree, and the
+/// worth of its ancestors, are known).
+
+namespace tix::exec {
+
+/// One node of the streamed scored tree, in pre-order. `level` is the
+/// depth within the streamed tree (root = 0); parentage is implied by
+/// the level nesting, exactly as in a document-order scan.
+struct PickEntry {
+  storage::NodeId node = storage::kInvalidNodeId;
+  uint16_t level = 0;
+  double score = 0.0;
+};
+
+struct PickStats {
+  uint64_t input_nodes = 0;
+  uint64_t worth_nodes = 0;
+  uint64_t outputs = 0;
+  uint64_t max_stack_depth = 0;
+};
+
+class PickOperator {
+ public:
+  explicit PickOperator(const algebra::PickCriterion* criterion)
+      : criterion_(criterion) {}
+
+  /// Runs over one tree (entries in pre-order, entries[0] is the root).
+  /// Returns picked node ids in document order. Agrees with
+  /// algebra::ReferencePick on every input (property-tested).
+  Result<std::vector<storage::NodeId>> Run(
+      const std::vector<PickEntry>& entries);
+
+  const PickStats& stats() const { return stats_; }
+
+ private:
+  const algebra::PickCriterion* criterion_;
+  PickStats stats_;
+};
+
+/// Flattens a scored tree into the pre-order entry stream PickOperator
+/// consumes.
+std::vector<PickEntry> FlattenForPick(const algebra::ScoredTree& tree);
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_PICK_OPERATOR_H_

@@ -1,0 +1,40 @@
+#ifndef TIX_EXEC_SCORED_ELEMENT_H_
+#define TIX_EXEC_SCORED_ELEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/node_record.h"
+
+/// \file
+/// The tuple type flowing between physical operators: one scored element
+/// node. Operators propagate and modify scores as TIX prescribes
+/// (Sec. 5.2); per-phrase counts ride along so downstream scorers can
+/// re-weigh without re-access.
+
+namespace tix::exec {
+
+struct ScoredElement {
+  storage::NodeId node = storage::kInvalidNodeId;
+  storage::DocId doc = 0;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint16_t level = 0;
+  double score = 0.0;
+  /// Occurrence count per query phrase (may be empty when the producing
+  /// operator does not track counts).
+  std::vector<uint32_t> counts;
+
+  friend bool operator==(const ScoredElement&,
+                         const ScoredElement&) = default;
+};
+
+/// Document-order comparison (doc, start).
+inline bool DocumentOrderLess(const ScoredElement& a, const ScoredElement& b) {
+  if (a.doc != b.doc) return a.doc < b.doc;
+  return a.start < b.start;
+}
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_SCORED_ELEMENT_H_

@@ -1,0 +1,215 @@
+#include "exec/term_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tix::exec {
+
+TermJoin::TermJoin(storage::Database* db, const index::InvertedIndex* index,
+                   const algebra::IrPredicate* predicate,
+                   const algebra::Scorer* scorer, TermJoinOptions options)
+    : db_(db),
+      index_(index),
+      predicate_(predicate),
+      scorer_(scorer),
+      options_(options),
+      complex_(scorer->is_complex()),
+      num_phrases_(predicate->num_phrases()) {}
+
+Status TermJoin::PopAndEmit() {
+  StackEntry popped = std::move(stack_.back());
+  stack_.pop_back();
+
+  // Merge subtree state into the parent (the new top).
+  if (!stack_.empty()) {
+    StackEntry& top = stack_.back();
+    for (size_t i = 0; i < num_phrases_; ++i) top.counts[i] += popped.counts[i];
+    if (complex_) {
+      top.occurrences.insert(top.occurrences.end(),
+                             popped.occurrences.begin(),
+                             popped.occurrences.end());
+      // The popped element is a direct child of the new top (stack
+      // entries form an ancestor chain); it is relevant by construction.
+      ++top.relevant_children;
+    }
+  }
+
+  bool any = false;
+  for (uint32_t c : popped.counts) {
+    if (c > 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return Status::OK();
+
+  ScoredElement element;
+  element.node = popped.node;
+  element.doc = popped.doc;
+  element.start = popped.start;
+  element.end = popped.end;
+  element.level = popped.level;
+  element.counts = popped.counts;
+  if (!complex_) {
+    element.score = scorer_->Score(popped.counts);
+  } else {
+    uint32_t total_children;
+    if (options_.enhanced) {
+      total_children = db_->ChildCountFromIndex(popped.node);
+    } else {
+      // Plain TermJoin navigates the stored records to count children —
+      // the data accesses Enhanced TermJoin eliminates.
+      TIX_ASSIGN_OR_RETURN(total_children,
+                           db_->CountChildrenByNavigation(popped.node));
+    }
+    algebra::ScoreContext context;
+    context.counts = popped.counts;
+    context.occurrences = popped.occurrences;
+    context.total_children = total_children;
+    context.relevant_children = popped.relevant_children;
+    context.element_start = popped.start;
+    context.element_end = popped.end;
+    element.score = scorer_->ScoreComplex(context);
+  }
+  pending_.push_back(std::move(element));
+  ++stats_.outputs;
+  return Status::OK();
+}
+
+Status TermJoin::PushAncestors(storage::NodeId text_node) {
+  // Walk upward from the text node's parent until we meet the stack top
+  // (which, after the pop phase, is an ancestor of the occurrence) or
+  // the document root. Collect the not-yet-stacked ancestors.
+  struct PendingEntry {
+    storage::NodeId node;
+    storage::DocId doc;
+    uint32_t start;
+    uint32_t end;
+    uint16_t level;
+  };
+  std::vector<PendingEntry> pending;
+
+  if (options_.enhanced) {
+    // The enhanced variant answers every navigation question from the
+    // in-memory index: no record access at all.
+    storage::NodeId current = db_->ParentFromIndex(text_node);
+    while (current != storage::kInvalidNodeId &&
+           (stack_.empty() || stack_.back().node != current)) {
+      pending.push_back(PendingEntry{current, db_->DocFromIndex(current),
+                                     db_->StartFromIndex(current),
+                                     db_->EndFromIndex(current),
+                                     db_->LevelFromIndex(current)});
+      current = db_->ParentFromIndex(current);
+    }
+  } else {
+    TIX_ASSIGN_OR_RETURN(storage::NodeRecord record, db_->GetNode(text_node));
+    storage::NodeId current = record.parent;
+    while (current != storage::kInvalidNodeId &&
+           (stack_.empty() || stack_.back().node != current)) {
+      TIX_ASSIGN_OR_RETURN(record, db_->GetNode(current));
+      pending.push_back(PendingEntry{current, record.doc_id, record.start,
+                                     record.end, record.level});
+      current = record.parent;
+    }
+  }
+
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    StackEntry entry;
+    entry.node = it->node;
+    entry.doc = it->doc;
+    entry.start = it->start;
+    entry.end = it->end;
+    entry.level = it->level;
+    entry.counts.assign(num_phrases_, 0);
+    stack_.push_back(std::move(entry));
+    ++stats_.stack_pushes;
+  }
+  stats_.max_stack_depth =
+      std::max(stats_.max_stack_depth, static_cast<uint64_t>(stack_.size()));
+  return Status::OK();
+}
+
+Status TermJoin::Open() {
+  if (open_) return Status::Internal("TermJoin opened twice");
+  open_ = true;
+  input_done_ = false;
+  fetches_at_open_ = db_->node_store().record_fetches();
+  streams_ = MakeOccurrenceStreams(*index_, *predicate_);
+  return Status::OK();
+}
+
+Status TermJoin::Pump() {
+  while (pending_.empty() && !input_done_) {
+    // t-min: the stream with the smallest (doc, word_pos) head.
+    int min_stream = -1;
+    Occurrence min_occurrence;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      const std::optional<Occurrence> head = streams_[i]->Peek();
+      if (!head.has_value()) continue;
+      if (min_stream < 0 || head->doc < min_occurrence.doc ||
+          (head->doc == min_occurrence.doc &&
+           head->word_pos < min_occurrence.word_pos)) {
+        min_stream = static_cast<int>(i);
+        min_occurrence = *head;
+      }
+    }
+    if (min_stream < 0) {
+      // Inputs exhausted: flush the stack.
+      input_done_ = true;
+      while (!stack_.empty()) {
+        TIX_RETURN_IF_ERROR(PopAndEmit());
+      }
+      stats_.record_fetches =
+          db_->node_store().record_fetches() - fetches_at_open_;
+      break;
+    }
+    streams_[static_cast<size_t>(min_stream)]->Advance();
+    ++stats_.occurrences;
+
+    // Pop everything that does not contain the occurrence.
+    while (!stack_.empty() &&
+           !(stack_.back().doc == min_occurrence.doc &&
+             stack_.back().end > min_occurrence.word_pos)) {
+      TIX_RETURN_IF_ERROR(PopAndEmit());
+    }
+
+    TIX_RETURN_IF_ERROR(PushAncestors(min_occurrence.text_node));
+    TIX_CHECK(!stack_.empty());
+
+    StackEntry& top = stack_.back();
+    ++top.counts[static_cast<size_t>(min_stream)];
+    if (complex_) {
+      top.occurrences.push_back(algebra::TermOccurrence{
+          static_cast<uint32_t>(min_stream), min_occurrence.word_pos,
+          min_occurrence.text_node});
+      if (top.last_marked_text_child != min_occurrence.text_node) {
+        top.last_marked_text_child = min_occurrence.text_node;
+        ++top.relevant_children;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::optional<ScoredElement>> TermJoin::Next() {
+  if (!open_) return Status::Internal("TermJoin::Next before Open");
+  TIX_RETURN_IF_ERROR(Pump());
+  if (pending_.empty()) return std::optional<ScoredElement>();
+  ScoredElement element = std::move(pending_.front());
+  pending_.pop_front();
+  return std::optional<ScoredElement>(std::move(element));
+}
+
+Result<std::vector<ScoredElement>> TermJoin::Run() {
+  TIX_RETURN_IF_ERROR(Open());
+  std::vector<ScoredElement> out;
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(std::optional<ScoredElement> element, Next());
+    if (!element.has_value()) break;
+    out.push_back(std::move(*element));
+  }
+  return out;
+}
+
+}  // namespace tix::exec

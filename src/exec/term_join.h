@@ -1,0 +1,109 @@
+#ifndef TIX_EXEC_TERM_JOIN_H_
+#define TIX_EXEC_TERM_JOIN_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "exec/occurrence_stream.h"
+#include "exec/scored_element.h"
+#include "index/inverted_index.h"
+#include "storage/database.h"
+
+/// \file
+/// The TermJoin access method (Fig. 11): one merge pass over per-phrase
+/// occurrence streams, maintaining the stack of ancestors of the current
+/// occurrence. When an element is popped, occurrence counts (and, for
+/// complex scoring, the occurrence list and child statistics — the
+/// paper's `if(!s)` bookkeeping) for its whole subtree are complete, so
+/// it is scored and emitted. Every element containing at least one query
+/// phrase in its subtree is emitted exactly once.
+///
+/// The *Enhanced* variant (Sec. 6.1) answers parent and child-count
+/// questions from the database's in-memory parent index instead of
+/// navigating stored records, eliminating all record fetches.
+
+namespace tix::exec {
+
+struct TermJoinOptions {
+  /// Use the parent/child-count index instead of record navigation.
+  bool enhanced = false;
+};
+
+struct TermJoinStats {
+  uint64_t occurrences = 0;
+  uint64_t stack_pushes = 0;
+  uint64_t max_stack_depth = 0;
+  uint64_t outputs = 0;
+  /// Node-record fetches attributable to this run.
+  uint64_t record_fetches = 0;
+};
+
+class TermJoin {
+ public:
+  /// `scorer->is_complex()` selects simple vs complex bookkeeping (the
+  /// `s` parameter of Fig. 11). All pointers must outlive the join.
+  TermJoin(storage::Database* db, const index::InvertedIndex* index,
+           const algebra::IrPredicate* predicate,
+           const algebra::Scorer* scorer, TermJoinOptions options = {});
+
+  /// Runs the merge to completion. Output is in pop (post-) order;
+  /// every element has `counts` filled per phrase and a final score.
+  Result<std::vector<ScoredElement>> Run();
+
+  /// Pipelined interface: TermJoin is non-blocking — an element is
+  /// emitted the moment it pops, while the merge is still consuming
+  /// postings. `Next` returns nullopt at end of stream.
+  Status Open();
+  Result<std::optional<ScoredElement>> Next();
+
+  const TermJoinStats& stats() const { return stats_; }
+
+ private:
+  struct StackEntry {
+    storage::NodeId node = storage::kInvalidNodeId;
+    storage::DocId doc = 0;
+    uint32_t start = 0;
+    uint32_t end = 0;
+    uint16_t level = 0;
+    std::vector<uint32_t> counts;
+    // Complex-scoring state (the paper's BufferAndList):
+    std::vector<algebra::TermOccurrence> occurrences;
+    uint32_t relevant_children = 0;
+    storage::NodeId last_marked_text_child = storage::kInvalidNodeId;
+  };
+
+  /// Pops the top entry, merges its state into the new top, scores it
+  /// and queues it for emission.
+  Status PopAndEmit();
+
+  /// Pushes the ancestors of `text_node` that are not yet on the stack.
+  Status PushAncestors(storage::NodeId text_node);
+
+  /// Advances the merge until at least one element is pending or the
+  /// input is exhausted.
+  Status Pump();
+
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  const algebra::IrPredicate* predicate_;
+  const algebra::Scorer* scorer_;
+  TermJoinOptions options_;
+  bool complex_ = false;
+  size_t num_phrases_ = 0;
+
+  std::vector<StackEntry> stack_;
+  std::vector<std::unique_ptr<OccurrenceStream>> streams_;
+  std::deque<ScoredElement> pending_;
+  bool open_ = false;
+  bool input_done_ = false;
+  uint64_t fetches_at_open_ = 0;
+  TermJoinStats stats_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_TERM_JOIN_H_

@@ -1,0 +1,44 @@
+#include "exec/threshold_operator.h"
+
+#include <algorithm>
+
+namespace tix::exec {
+
+void ThresholdOperator::Push(ScoredElement element) {
+  ++pushed_;
+  if (spec_.min_score.has_value() && !(element.score > *spec_.min_score)) {
+    ++dropped_by_score_;
+    return;
+  }
+  if (!spec_.top_k.has_value()) {
+    kept_.push_back(std::move(element));
+    return;
+  }
+  const size_t k = *spec_.top_k;
+  if (k == 0) return;
+  if (kept_.size() < k) {
+    kept_.push_back(std::move(element));
+    std::push_heap(kept_.begin(), kept_.end(), HeapLess());
+    return;
+  }
+  // kept_ is a min-heap on score: kept_[0] is the weakest survivor.
+  HeapLess less;
+  if (less(element, kept_[0])) {
+    std::pop_heap(kept_.begin(), kept_.end(), less);
+    kept_.back() = std::move(element);
+    std::push_heap(kept_.begin(), kept_.end(), less);
+  }
+}
+
+std::vector<ScoredElement> ThresholdOperator::Finish() {
+  std::vector<ScoredElement> out = std::move(kept_);
+  kept_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const ScoredElement& a, const ScoredElement& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return DocumentOrderLess(a, b);
+            });
+  return out;
+}
+
+}  // namespace tix::exec

@@ -1,0 +1,51 @@
+#ifndef TIX_EXEC_THRESHOLD_OPERATOR_H_
+#define TIX_EXEC_THRESHOLD_OPERATOR_H_
+
+#include <queue>
+#include <vector>
+
+#include "algebra/threshold.h"
+#include "exec/scored_element.h"
+
+/// \file
+/// Physical Threshold operator (Sec. 5.3): V-filtering is applied as
+/// elements stream in; K-based thresholding keeps a bounded min-heap, so
+/// memory is O(K) regardless of input size (the technique of [8, 5] the
+/// paper points to).
+
+namespace tix::exec {
+
+class ThresholdOperator {
+ public:
+  explicit ThresholdOperator(algebra::ThresholdSpec spec)
+      : spec_(spec) {}
+
+  /// Offers one element to the operator.
+  void Push(ScoredElement element);
+
+  /// Finishes the stream and returns the surviving elements in
+  /// descending score order (ties: document order).
+  std::vector<ScoredElement> Finish();
+
+  uint64_t pushed() const { return pushed_; }
+  uint64_t dropped_by_score() const { return dropped_by_score_; }
+
+ private:
+  struct HeapLess {
+    bool operator()(const ScoredElement& a, const ScoredElement& b) const {
+      // Min-heap on score; among equal scores evict later document
+      // positions first so the kept set is deterministic.
+      if (a.score != b.score) return a.score > b.score;
+      return DocumentOrderLess(a, b);
+    }
+  };
+
+  algebra::ThresholdSpec spec_;
+  std::vector<ScoredElement> kept_;  // heap when top_k is set
+  uint64_t pushed_ = 0;
+  uint64_t dropped_by_score_ = 0;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_THRESHOLD_OPERATOR_H_

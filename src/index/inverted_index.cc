@@ -1,0 +1,217 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace tix::index {
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x5449581049445801ULL;  // "TIX\x10IDX\x01"
+}  // namespace
+
+Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
+  InvertedIndex out;
+  out.tokenizer_options_ = db->tokenizer().options();
+  const text::Tokenizer& tokenizer = db->tokenizer();
+
+  // Track last (doc, node) seen per term to maintain frequencies without
+  // extra passes. Postings arrive naturally sorted because node ids are
+  // in document order and positions ascend within a text node.
+  std::vector<storage::NodeId> last_node_of_term;
+  std::vector<storage::DocId> last_doc_of_term;
+
+  const uint64_t n = db->num_nodes();
+  for (storage::NodeId id = 0; id < n; ++id) {
+    TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record, db->GetNode(id));
+    if (!record.is_text() || record.blob_length == 0) continue;
+    ++out.stats_.num_text_nodes;
+    TIX_ASSIGN_OR_RETURN(const std::string data, db->TextOf(record));
+    for (const text::Token& token : tokenizer.Tokenize(data)) {
+      const text::TermId term = out.dictionary_.Intern(token.term);
+      if (term >= out.lists_.size()) {
+        out.lists_.resize(term + 1);
+        last_node_of_term.resize(term + 1, storage::kInvalidNodeId);
+        last_doc_of_term.resize(term + 1, UINT32_MAX);
+      }
+      PostingList& list = out.lists_[term];
+      list.postings.push_back(
+          Posting{record.doc_id, id, record.start + token.position});
+      if (last_node_of_term[term] != id) {
+        last_node_of_term[term] = id;
+        ++list.node_frequency;
+      }
+      if (last_doc_of_term[term] != record.doc_id) {
+        last_doc_of_term[term] = record.doc_id;
+        ++list.doc_frequency;
+      }
+      ++out.stats_.num_postings;
+    }
+  }
+  out.stats_.num_terms = out.lists_.size();
+  out.stats_.num_documents = db->documents().size();
+  db->node_store().ResetCounters();
+  return out;
+}
+
+const PostingList* InvertedIndex::Lookup(std::string_view term) const {
+  ++lookups_;
+  const text::Tokenizer tokenizer(tokenizer_options_);
+  const std::string normalized = tokenizer.Normalize(term);
+  const text::TermId id = dictionary_.Lookup(normalized);
+  if (id == text::kInvalidTermId) return nullptr;
+  return &lists_[id];
+}
+
+const PostingList* InvertedIndex::LookupId(text::TermId id) const {
+  ++lookups_;
+  if (id >= lists_.size()) return nullptr;
+  return &lists_[id];
+}
+
+uint64_t InvertedIndex::TermFrequency(std::string_view term) const {
+  const PostingList* list = Lookup(term);
+  return list == nullptr ? 0 : list->size();
+}
+
+double InvertedIndex::InverseDocumentFrequency(std::string_view term) const {
+  const PostingList* list = Lookup(term);
+  const uint64_t df = list == nullptr ? 0 : list->doc_frequency;
+  return std::log(static_cast<double>(stats_.num_documents + 1) /
+                  static_cast<double>(df + 1)) +
+         1.0;
+}
+
+std::vector<std::string> InvertedIndex::TermsWithFrequencyBetween(
+    uint64_t lo, uint64_t hi) const {
+  std::vector<std::pair<uint64_t, text::TermId>> matches;
+  for (text::TermId id = 0; id < lists_.size(); ++id) {
+    const uint64_t count = lists_[id].size();
+    if (count >= lo && count <= hi) matches.emplace_back(count, id);
+  }
+  std::sort(matches.begin(), matches.end());
+  std::vector<std::string> terms;
+  terms.reserve(matches.size());
+  for (const auto& [count, id] : matches) {
+    terms.push_back(dictionary_.TermOf(id));
+  }
+  return terms;
+}
+
+Status InvertedIndex::SaveToFile(const std::string& path) const {
+  std::string blob;
+  PutVarint64(&blob, kIndexMagic);
+  // Tokenizer options (must match at load).
+  blob.push_back(tokenizer_options_.lowercase ? 1 : 0);
+  blob.push_back(tokenizer_options_.remove_stopwords ? 1 : 0);
+  blob.push_back(tokenizer_options_.stem ? 1 : 0);
+  PutVarint64(&blob, tokenizer_options_.min_token_length);
+
+  const std::string dict = dictionary_.Serialize();
+  PutVarint64(&blob, dict.size());
+  blob += dict;
+
+  PutVarint64(&blob, lists_.size());
+  for (const PostingList& list : lists_) {
+    PutVarint64(&blob, list.postings.size());
+    PutVarint64(&blob, list.doc_frequency);
+    PutVarint64(&blob, list.node_frequency);
+    // Delta coding: docs ascend; within a doc node ids and positions
+    // ascend.
+    uint32_t prev_doc = 0;
+    uint32_t prev_node = 0;
+    uint32_t prev_pos = 0;
+    for (const Posting& posting : list.postings) {
+      const uint32_t doc_delta = posting.doc_id - prev_doc;
+      PutVarint32(&blob, doc_delta);
+      if (doc_delta != 0) {
+        prev_node = 0;
+        prev_pos = 0;
+      }
+      PutVarint32(&blob, posting.node_id - prev_node);
+      PutVarint32(&blob, posting.word_pos - prev_pos);
+      prev_doc = posting.doc_id;
+      prev_node = posting.node_id;
+      prev_pos = posting.word_pos;
+    }
+  }
+  PutVarint64(&blob, stats_.num_documents);
+  PutVarint64(&blob, stats_.num_text_nodes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write index file: " + path);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  return out.good() ? Status::OK()
+                    : Status::IOError("index write failed: " + path);
+}
+
+Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open index file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob_storage = buffer.str();
+  std::string_view blob(blob_storage);
+
+  InvertedIndex out;
+  TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
+  if (magic != kIndexMagic) return Status::Corruption("bad index magic");
+  if (blob.size() < 3) return Status::Corruption("index truncated");
+  out.tokenizer_options_.lowercase = blob[0] != 0;
+  out.tokenizer_options_.remove_stopwords = blob[1] != 0;
+  out.tokenizer_options_.stem = blob[2] != 0;
+  blob.remove_prefix(3);
+  TIX_ASSIGN_OR_RETURN(const uint64_t min_len, GetVarint64(&blob));
+  out.tokenizer_options_.min_token_length = min_len;
+
+  TIX_ASSIGN_OR_RETURN(const uint64_t dict_size, GetVarint64(&blob));
+  if (blob.size() < dict_size) return Status::Corruption("index truncated");
+  TIX_ASSIGN_OR_RETURN(
+      out.dictionary_,
+      text::TermDictionary::Deserialize(blob.substr(0, dict_size)));
+  blob.remove_prefix(dict_size);
+
+  TIX_ASSIGN_OR_RETURN(const uint64_t num_lists, GetVarint64(&blob));
+  out.lists_.resize(num_lists);
+  for (uint64_t i = 0; i < num_lists; ++i) {
+    PostingList& list = out.lists_[i];
+    TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
+    TIX_ASSIGN_OR_RETURN(const uint64_t df, GetVarint64(&blob));
+    TIX_ASSIGN_OR_RETURN(const uint64_t nf, GetVarint64(&blob));
+    list.doc_frequency = static_cast<uint32_t>(df);
+    list.node_frequency = static_cast<uint32_t>(nf);
+    list.postings.reserve(count);
+    uint32_t prev_doc = 0;
+    uint32_t prev_node = 0;
+    uint32_t prev_pos = 0;
+    for (uint64_t j = 0; j < count; ++j) {
+      TIX_ASSIGN_OR_RETURN(const uint32_t doc_delta, GetVarint32(&blob));
+      if (doc_delta != 0) {
+        prev_node = 0;
+        prev_pos = 0;
+      }
+      TIX_ASSIGN_OR_RETURN(const uint32_t node_delta, GetVarint32(&blob));
+      TIX_ASSIGN_OR_RETURN(const uint32_t pos_delta, GetVarint32(&blob));
+      Posting posting;
+      posting.doc_id = prev_doc + doc_delta;
+      posting.node_id = prev_node + node_delta;
+      posting.word_pos = prev_pos + pos_delta;
+      list.postings.push_back(posting);
+      prev_doc = posting.doc_id;
+      prev_node = posting.node_id;
+      prev_pos = posting.word_pos;
+    }
+    out.stats_.num_postings += count;
+  }
+  out.stats_.num_terms = num_lists;
+  TIX_ASSIGN_OR_RETURN(out.stats_.num_documents, GetVarint64(&blob));
+  TIX_ASSIGN_OR_RETURN(out.stats_.num_text_nodes, GetVarint64(&blob));
+  return out;
+}
+
+}  // namespace tix::index

@@ -1,0 +1,112 @@
+#ifndef TIX_INDEX_INVERTED_INDEX_H_
+#define TIX_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/database.h"
+#include "text/term_dictionary.h"
+
+/// \file
+/// The inverted index of Sec. 5.1: term -> postings of
+/// (doc, text node, word offset), sorted in document order. Word offsets
+/// live in the same coordinate space as node intervals, which is what
+/// lets TermJoin merge postings against the structure and lets
+/// PhraseFinder verify adjacency without touching the stored text.
+
+namespace tix::index {
+
+/// One occurrence of a term.
+struct Posting {
+  storage::DocId doc_id = 0;
+  /// Text node containing the occurrence.
+  storage::NodeId node_id = storage::kInvalidNodeId;
+  /// Absolute word position: text_node.start + position-in-node.
+  uint32_t word_pos = 0;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// Ordering key used throughout the merge algorithms.
+inline bool PostingLess(const Posting& a, const Posting& b) {
+  if (a.doc_id != b.doc_id) return a.doc_id < b.doc_id;
+  return a.word_pos < b.word_pos;
+}
+
+/// All occurrences of one term plus its collection statistics.
+struct PostingList {
+  std::vector<Posting> postings;
+  /// Number of distinct documents containing the term.
+  uint32_t doc_frequency = 0;
+  /// Number of distinct text nodes containing the term.
+  uint32_t node_frequency = 0;
+
+  size_t size() const { return postings.size(); }
+  bool empty() const { return postings.empty(); }
+};
+
+struct IndexStats {
+  uint64_t num_terms = 0;
+  uint64_t num_postings = 0;
+  uint64_t num_documents = 0;
+  uint64_t num_text_nodes = 0;
+};
+
+/// Memory-resident inverted index with on-disk persistence (delta +
+/// varint coded), in the tradition of IR engines: the dictionary and
+/// postings are loaded once and shared read-only by all queries.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+  TIX_DISALLOW_COPY_AND_ASSIGN(InvertedIndex);
+  InvertedIndex(InvertedIndex&&) noexcept = default;
+  InvertedIndex& operator=(InvertedIndex&&) noexcept = default;
+
+  /// Builds the index with one scan of the database's text nodes, using
+  /// the database's tokenizer so index terms match load-time numbering.
+  static Result<InvertedIndex> Build(storage::Database* db);
+
+  /// Postings for a term (already normalized by the caller or not — the
+  /// lookup normalizes with the same tokenizer options used at build).
+  /// nullptr when the term does not occur.
+  const PostingList* Lookup(std::string_view term) const;
+
+  const PostingList* LookupId(text::TermId id) const;
+
+  /// Total occurrences of the term; 0 when absent.
+  uint64_t TermFrequency(std::string_view term) const;
+
+  /// Inverse document frequency: log((N + 1) / (df + 1)) + 1.
+  double InverseDocumentFrequency(std::string_view term) const;
+
+  const text::TermDictionary& dictionary() const { return dictionary_; }
+  const IndexStats& stats() const { return stats_; }
+
+  /// Terms whose total occurrence count lies in [lo, hi], sorted by
+  /// count. Used by the experiment harnesses to select query terms of a
+  /// target frequency, as the paper does.
+  std::vector<std::string> TermsWithFrequencyBetween(uint64_t lo,
+                                                     uint64_t hi) const;
+
+  /// Number of index lookups performed (instrumentation).
+  uint64_t lookups() const { return lookups_; }
+  void ResetCounters() { lookups_ = 0; }
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<InvertedIndex> LoadFromFile(const std::string& path);
+
+ private:
+  text::TermDictionary dictionary_;
+  std::vector<PostingList> lists_;  // indexed by TermId
+  IndexStats stats_;
+  text::TokenizerOptions tokenizer_options_;
+  mutable uint64_t lookups_ = 0;
+};
+
+}  // namespace tix::index
+
+#endif  // TIX_INDEX_INVERTED_INDEX_H_

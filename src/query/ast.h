@@ -1,0 +1,102 @@
+#ifndef TIX_QUERY_AST_H_
+#define TIX_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file
+/// Abstract syntax for the TIX query language:
+///
+///   FOR $a IN document("articles.xml")//article[author/sname = "Doe"]//*
+///   SCORE $a USING foo({"search engine"}, {"internet"})
+///   PICK $a USING pickfoo(0.8, 0.5)
+///   THRESHOLD score > 4 STOP AFTER 5
+///   RETURN $a
+///
+/// This is the paper's Figure 10 surface, normalized: one FOR variable,
+/// conjunctive step predicates, Score/Pick/Threshold clauses.
+
+namespace tix::query {
+
+/// One predicate inside a path step: [rel/path = "v"] or [@attr = "v"]
+/// or a bare existence test [rel/path].
+struct StepPredicate {
+  /// Element names along the relative path (child axis); empty for a
+  /// pure attribute test.
+  std::vector<std::string> path;
+  /// Attribute name; empty when the predicate targets element content.
+  std::string attribute;
+  /// Comparison value; nullopt = existence test.
+  std::optional<std::string> value;
+};
+
+/// One location step: axis + name test + predicates.
+struct PathStep {
+  /// True for '//' (descendant), false for '/' (child). The *final*
+  /// step with a '*' name test is interpreted as descendant-or-self,
+  /// matching the paper's use of descendant-or-self::* for the ad* edge.
+  bool descendant = false;
+  /// Element name; "*" matches any element.
+  std::string name;
+  std::vector<StepPredicate> predicates;
+};
+
+struct PathExpr {
+  std::string document;  // document("...") argument
+  std::vector<PathStep> steps;
+};
+
+struct ScoreClause {
+  std::string variable;
+  /// Scorer name: "foo", "complexfoo" or "tfidf".
+  std::string scorer;
+  /// First phrase list (the paper's primary set A, weight 0.8).
+  std::vector<std::string> primary;
+  /// Second phrase list (the desirable set B, weight 0.6).
+  std::vector<std::string> desirable;
+};
+
+struct PickClause {
+  std::string variable;
+  /// Criterion name: "pickfoo" or "parity".
+  std::string criterion;
+  double threshold = 0.8;
+  double fraction = 0.5;
+};
+
+struct ThresholdClause {
+  std::optional<double> min_score;
+  std::optional<size_t> top_k;  // STOP AFTER k
+};
+
+/// IR-style join clause (Query 3):
+///   SIMJOIN $a/atl WITH $b/title SIMSCORE > 1
+/// joins the bindings of the two FOR variables on the ScoreSim
+/// similarity of the named descendant elements; the combined result
+/// score is ScoreBar(similarity, IR score of the left binding).
+struct SimJoinClause {
+  std::string left_variable;
+  std::string left_tag;
+  std::string right_variable;
+  std::string right_tag;
+  /// Pairs must have similarity strictly above this (SIMSCORE > V).
+  double min_similarity = 0.0;
+};
+
+struct Query {
+  std::string variable;
+  PathExpr path;
+  /// Second FLWR variable (join queries only).
+  std::string variable2;
+  std::optional<PathExpr> path2;
+  std::optional<SimJoinClause> simjoin;
+  std::optional<ScoreClause> score;
+  std::optional<PickClause> pick;
+  std::optional<ThresholdClause> threshold;
+  std::string return_variable;
+};
+
+}  // namespace tix::query
+
+#endif  // TIX_QUERY_AST_H_

@@ -1,0 +1,480 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algebra/pattern_tree.h"
+#include "algebra/pick.h"
+#include "algebra/reference_eval.h"
+#include "algebra/scoring.h"
+#include "common/string_util.h"
+#include "exec/pick_operator.h"
+#include "exec/structural_join.h"
+#include "exec/term_join.h"
+#include "exec/threshold_operator.h"
+#include "query/parser.h"
+#include "query/similarity_join.h"
+#include "xml/serializer.h"
+
+namespace tix::query {
+
+namespace {
+
+/// Translates path steps [0, count) into a chain-shaped scored pattern
+/// tree; step predicates become predicate subtrees. `step_labels[i]` is
+/// the pattern label bound to the i-th step.
+Result<algebra::ScoredPatternTree> BuildPattern(
+    const std::vector<PathStep>& steps, size_t count,
+    std::vector<int>* step_labels) {
+  algebra::ScoredPatternTree pattern;
+  algebra::PatternNode* current = nullptr;
+  int next_label = 1;
+  step_labels->clear();
+  for (size_t i = 0; i < count; ++i) {
+    const PathStep& step = steps[i];
+    algebra::PatternNode* node;
+    if (current == nullptr) {
+      node = pattern.CreateRoot(next_label++);
+      node->set_axis(algebra::Axis::kDescendant);
+    } else {
+      node = current->AddChild(
+          next_label++,
+          step.descendant ? algebra::Axis::kDescendant
+                          : algebra::Axis::kChild);
+    }
+    step_labels->push_back(node->label());
+    if (step.name != "*") node->set_tag(step.name);
+    for (const StepPredicate& predicate : step.predicates) {
+      // Walk the relative path with child-axis pattern nodes; the final
+      // node carries the value predicate.
+      algebra::PatternNode* target = node;
+      for (const std::string& name : predicate.path) {
+        target = target->AddChild(next_label++, algebra::Axis::kChild);
+        target->set_tag(name);
+      }
+      if (!predicate.attribute.empty()) {
+        if (!predicate.value.has_value()) {
+          return Status::NotImplemented(
+              "attribute existence tests are not supported");
+        }
+        target->AddPredicate(algebra::Predicate{
+            algebra::Predicate::Kind::kAttributeEquals, predicate.attribute,
+            *predicate.value});
+      } else if (predicate.value.has_value()) {
+        target->AddPredicate(algebra::Predicate{
+            algebra::Predicate::Kind::kContentEquals, "", *predicate.value});
+      }
+      // A bare element path is an existence test — the structural match
+      // itself enforces it.
+    }
+    current = node;
+  }
+  return pattern;
+}
+
+Result<std::vector<exec::ScoredElement>> ToElements(
+    storage::Database* db, const std::vector<storage::NodeId>& nodes) {
+  std::vector<exec::ScoredElement> out;
+  out.reserve(nodes.size());
+  for (storage::NodeId id : nodes) {
+    TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record, db->GetNode(id));
+    exec::ScoredElement element;
+    element.node = id;
+    element.doc = record.doc_id;
+    element.start = record.start;
+    element.end = record.end;
+    element.level = record.level;
+    out.push_back(element);
+  }
+  std::sort(out.begin(), out.end(), exec::DocumentOrderLess);
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const exec::ScoredElement& a,
+                           const exec::ScoredElement& b) {
+                          return a.node == b.node;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<QueryOutput> QueryEngine::ExecuteText(std::string_view text) {
+  TIX_ASSIGN_OR_RETURN(const Query query, ParseQuery(text));
+  return Execute(query);
+}
+
+Result<std::unique_ptr<algebra::Scorer>> QueryEngine::MakeScorerForClause(
+    const ScoreClause& clause, const algebra::IrPredicate& predicate) const {
+  auto phrase_idf = [&] {
+    std::vector<double> idf;
+    for (const algebra::WeightedPhrase& phrase : predicate.phrases) {
+      double value = 0.0;
+      for (const std::string& term : phrase.terms) {
+        value = std::max(value, index_->InverseDocumentFrequency(term));
+      }
+      idf.push_back(value);
+    }
+    return idf;
+  };
+  std::unique_ptr<algebra::Scorer> scorer;
+  if (clause.scorer == "complexfoo") {
+    scorer = std::make_unique<algebra::ComplexProximityScorer>(
+        predicate.Weights());
+  } else if (clause.scorer == "tfidf") {
+    scorer = std::make_unique<algebra::TfIdfScorer>(predicate.Weights(),
+                                                    phrase_idf());
+  } else if (clause.scorer == "bm25") {
+    uint64_t total_words = 0;
+    for (const storage::DocumentInfo& info : db_->documents()) {
+      total_words += info.word_count;
+    }
+    const double average_span =
+        db_->num_nodes() == 0 ? 1.0
+                              : static_cast<double>(total_words) /
+                                    static_cast<double>(db_->num_nodes());
+    scorer = std::make_unique<algebra::LengthNormalizedScorer>(
+        predicate.Weights(), phrase_idf(), average_span);
+  } else {
+    scorer =
+        std::make_unique<algebra::WeightedCountScorer>(predicate.Weights());
+  }
+  return scorer;
+}
+
+Result<QueryOutput> QueryEngine::Execute(const Query& query) {
+  if (query.simjoin.has_value()) return ExecuteJoin(query);
+  QueryOutput output;
+  TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
+                       db_->GetDocumentByName(query.path.document));
+
+  const std::vector<PathStep>& steps = query.path.steps;
+  const PathStep& target_step = steps.back();
+
+  // ---- Anchors: the structural part (every step but the last). -------
+  std::vector<storage::NodeId> anchor_nodes;
+  if (steps.size() == 1) {
+    anchor_nodes.push_back(doc.root);
+  } else {
+    std::vector<int> step_labels;
+    TIX_ASSIGN_OR_RETURN(
+        const algebra::ScoredPatternTree anchor_pattern,
+        BuildPattern(steps, steps.size() - 1, &step_labels));
+    TIX_ASSIGN_OR_RETURN(const std::vector<algebra::Embedding> embeddings,
+                         algebra::MatchPattern(db_, anchor_pattern));
+    const int anchor_label = step_labels.back();
+    std::unordered_set<storage::NodeId> distinct;
+    for (const algebra::Embedding& embedding : embeddings) {
+      for (const auto& [label, node] : embedding) {
+        if (label == anchor_label) {
+          TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                               db_->GetNode(node));
+          if (record.doc_id == doc.doc_id) distinct.insert(node);
+        }
+      }
+    }
+    anchor_nodes.assign(distinct.begin(), distinct.end());
+    std::sort(anchor_nodes.begin(), anchor_nodes.end());
+  }
+  output.stats.anchors = anchor_nodes.size();
+  if (anchor_nodes.empty()) return output;
+  TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> anchors,
+                       ToElements(db_, anchor_nodes));
+
+  // ---- Score generation (TermJoin) or pure structural matching. ------
+  std::vector<exec::ScoredElement> scored;
+  std::unique_ptr<algebra::Scorer> scorer;
+  if (query.score.has_value()) {
+    const ScoreClause& clause = *query.score;
+    algebra::IrPredicate predicate =
+        algebra::IrPredicate::FooStyle(clause.primary, clause.desirable);
+    TIX_ASSIGN_OR_RETURN(scorer, MakeScorerForClause(clause, predicate));
+
+    exec::TermJoinOptions join_options;
+    join_options.enhanced = options_.enhanced_term_join;
+    exec::TermJoin join(db_, index_, &predicate, scorer.get(), join_options);
+    TIX_ASSIGN_OR_RETURN(std::vector<exec::ScoredElement> all_scored,
+                         join.Run());
+    std::sort(all_scored.begin(), all_scored.end(), exec::DocumentOrderLess);
+
+    // Scope to the anchors; `*` targets use descendant-or-self (the
+    // paper's ad* edge), named targets plain descendant/child.
+    const bool or_self = target_step.name == "*";
+    std::vector<exec::ScoredElement> scoped =
+        exec::SemiJoinDescendants(all_scored, anchors, or_self);
+    // Name and axis filters on the target step.
+    for (exec::ScoredElement& element : scoped) {
+      TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                           db_->GetNode(element.node));
+      if (target_step.name != "*" &&
+          db_->TagName(record.tag_id) != target_step.name) {
+        continue;
+      }
+      if (!target_step.descendant) {
+        // Child axis: the parent must be an anchor.
+        if (!std::binary_search(anchor_nodes.begin(), anchor_nodes.end(),
+                                record.parent)) {
+          continue;
+        }
+      }
+      scored.push_back(std::move(element));
+    }
+  } else {
+    // Boolean query: match the full pattern and return target bindings.
+    std::vector<int> step_labels;
+    TIX_ASSIGN_OR_RETURN(const algebra::ScoredPatternTree full_pattern,
+                         BuildPattern(steps, steps.size(), &step_labels));
+    TIX_ASSIGN_OR_RETURN(const std::vector<algebra::Embedding> embeddings,
+                         algebra::MatchPattern(db_, full_pattern));
+    const int target_label = step_labels.back();
+    std::unordered_set<storage::NodeId> distinct;
+    for (const algebra::Embedding& embedding : embeddings) {
+      for (const auto& [label, node] : embedding) {
+        if (label == target_label) {
+          TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                               db_->GetNode(node));
+          if (record.doc_id == doc.doc_id) distinct.insert(node);
+        }
+      }
+    }
+    std::vector<storage::NodeId> nodes(distinct.begin(), distinct.end());
+    std::sort(nodes.begin(), nodes.end());
+    TIX_ASSIGN_OR_RETURN(scored, ToElements(db_, nodes));
+  }
+  output.stats.scored_elements = scored.size();
+
+  // ---- Pick: granularity selection per anchor. ------------------------
+  if (query.pick.has_value() && !scored.empty()) {
+    std::unique_ptr<algebra::PickCriterion> criterion;
+    if (query.pick->criterion == "parity") {
+      criterion = std::make_unique<algebra::LevelParityPickCriterion>(
+          query.pick->threshold, query.pick->fraction);
+    } else if (query.pick->criterion == "topfraction") {
+      // Sec. 5.3: derive the relevance threshold from the score
+      // distribution of this query's components; the first PICK
+      // parameter is the top fraction, not an absolute score.
+      std::vector<double> scores;
+      scores.reserve(scored.size());
+      for (const exec::ScoredElement& element : scored) {
+        scores.push_back(element.score);
+      }
+      const algebra::ScoreHistogram histogram(scores);
+      criterion = std::make_unique<algebra::QuantilePickCriterion>(
+          histogram, query.pick->threshold, query.pick->fraction);
+    } else {
+      criterion = std::make_unique<algebra::PickFooCriterion>(
+          query.pick->threshold, query.pick->fraction);
+    }
+
+    std::unordered_set<storage::NodeId> picked_set;
+    for (const exec::ScoredElement& anchor : anchors) {
+      // Collect scored elements within this anchor (or-self) in
+      // document order and flatten to a pre-order level stream.
+      std::vector<exec::PickEntry> entries;
+      std::vector<const exec::ScoredElement*> stack;
+      // Root entry: the anchor itself (score 0 unless scored).
+      exec::ScoredElement anchor_entry = anchor;
+      for (const exec::ScoredElement& element : scored) {
+        if (element.node == anchor.node) anchor_entry = element;
+      }
+      entries.push_back(exec::PickEntry{anchor_entry.node, 0,
+                                        anchor_entry.score});
+      stack.push_back(&anchor_entry);
+      for (const exec::ScoredElement& element : scored) {
+        if (element.node == anchor.node) continue;
+        if (!(element.doc == anchor.doc && element.start > anchor.start &&
+              element.end < anchor.end)) {
+          continue;
+        }
+        while (!(element.start > stack.back()->start &&
+                 element.end < stack.back()->end)) {
+          stack.pop_back();
+        }
+        entries.push_back(exec::PickEntry{
+            element.node, static_cast<uint16_t>(stack.size()),
+            element.score});
+        stack.push_back(&element);
+      }
+      exec::PickOperator pick(criterion.get());
+      TIX_ASSIGN_OR_RETURN(const std::vector<storage::NodeId> picked,
+                           pick.Run(entries));
+      picked_set.insert(picked.begin(), picked.end());
+    }
+    std::vector<exec::ScoredElement> filtered;
+    for (exec::ScoredElement& element : scored) {
+      if (picked_set.count(element.node) > 0) {
+        filtered.push_back(std::move(element));
+      }
+    }
+    scored = std::move(filtered);
+    output.stats.picked = scored.size();
+  }
+
+  // ---- Threshold / top-K. ---------------------------------------------
+  algebra::ThresholdSpec spec;
+  if (query.threshold.has_value()) {
+    spec.min_score = query.threshold->min_score;
+    spec.top_k = query.threshold->top_k;
+  }
+  exec::ThresholdOperator threshold(spec);
+  for (exec::ScoredElement& element : scored) {
+    threshold.Push(std::move(element));
+  }
+  for (const exec::ScoredElement& element : threshold.Finish()) {
+    output.results.push_back(QueryResultItem{element.node, element.score});
+  }
+  output.stats.returned = output.results.size();
+  return output;
+}
+
+Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
+  QueryOutput output;
+  const SimJoinClause& simjoin = *query.simjoin;
+
+  // Bindings of each FOR variable: the full structural pattern of its
+  // path (no ad* target in join queries; the variable IS the last step).
+  auto bindings = [&](const PathExpr& path)
+      -> Result<std::vector<storage::NodeId>> {
+    TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
+                         db_->GetDocumentByName(path.document));
+    std::vector<int> step_labels;
+    TIX_ASSIGN_OR_RETURN(
+        const algebra::ScoredPatternTree pattern,
+        BuildPattern(path.steps, path.steps.size(), &step_labels));
+    TIX_ASSIGN_OR_RETURN(const std::vector<algebra::Embedding> embeddings,
+                         algebra::MatchPattern(db_, pattern));
+    std::unordered_set<storage::NodeId> distinct;
+    for (const algebra::Embedding& embedding : embeddings) {
+      for (const auto& [label, node] : embedding) {
+        if (label != step_labels.back()) continue;
+        TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                             db_->GetNode(node));
+        if (record.doc_id == doc.doc_id) distinct.insert(node);
+      }
+    }
+    std::vector<storage::NodeId> out(distinct.begin(), distinct.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  TIX_ASSIGN_OR_RETURN(const std::vector<storage::NodeId> left_anchors,
+                       bindings(query.path));
+  TIX_ASSIGN_OR_RETURN(const std::vector<storage::NodeId> right_anchors,
+                       bindings(*query.path2));
+  output.stats.anchors = left_anchors.size() + right_anchors.size();
+  if (left_anchors.empty() || right_anchors.empty()) return output;
+
+  // Similarity join on the designated descendant elements.
+  TIX_ASSIGN_OR_RETURN(
+      const std::vector<storage::NodeId> left_keys,
+      FirstDescendantWithTag(db_, left_anchors, simjoin.left_tag));
+  TIX_ASSIGN_OR_RETURN(
+      const std::vector<storage::NodeId> right_keys,
+      FirstDescendantWithTag(db_, right_anchors, simjoin.right_tag));
+  // Keep only anchors that have the key element, remembering the anchor
+  // each key belongs to.
+  std::unordered_map<storage::NodeId, storage::NodeId> key_to_anchor;
+  std::vector<storage::NodeId> left_present;
+  std::vector<storage::NodeId> right_present;
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    if (left_keys[i] == storage::kInvalidNodeId) continue;
+    key_to_anchor[left_keys[i]] = left_anchors[i];
+    left_present.push_back(left_keys[i]);
+  }
+  for (size_t i = 0; i < right_keys.size(); ++i) {
+    if (right_keys[i] == storage::kInvalidNodeId) continue;
+    key_to_anchor[right_keys[i]] = right_anchors[i];
+    right_present.push_back(right_keys[i]);
+  }
+  SimilarityJoinOptions join_options;
+  join_options.min_similarity = simjoin.min_similarity;
+  TIX_ASSIGN_OR_RETURN(
+      const std::vector<SimilarityPair> sim_pairs,
+      SimilarityJoin(db_, left_present, right_present, join_options));
+
+  // Best IR component score per left anchor (Query 3's $d/@score).
+  std::unordered_map<storage::NodeId, double> ir_score;
+  if (query.score.has_value()) {
+    algebra::IrPredicate predicate = algebra::IrPredicate::FooStyle(
+        query.score->primary, query.score->desirable);
+    TIX_ASSIGN_OR_RETURN(const std::unique_ptr<algebra::Scorer> scorer,
+                         MakeScorerForClause(*query.score, predicate));
+    exec::TermJoinOptions term_join_options;
+    term_join_options.enhanced = options_.enhanced_term_join;
+    exec::TermJoin join(db_, index_, &predicate, scorer.get(),
+                        term_join_options);
+    TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> scored,
+                         join.Run());
+    output.stats.scored_elements = scored.size();
+    for (const storage::NodeId anchor : left_anchors) {
+      TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                           db_->GetNode(anchor));
+      double best = 0.0;
+      for (const exec::ScoredElement& element : scored) {
+        if (element.doc == record.doc_id && element.start >= record.start &&
+            element.end <= record.end) {
+          best = std::max(best, element.score);
+        }
+      }
+      ir_score[anchor] = best;
+    }
+  }
+
+  // Combine, threshold, sort.
+  std::vector<QueryPairResult> pairs;
+  for (const SimilarityPair& pair : sim_pairs) {
+    QueryPairResult result;
+    result.left = key_to_anchor[pair.left];
+    result.right = key_to_anchor[pair.right];
+    result.similarity = pair.similarity;
+    if (query.score.has_value()) {
+      result.combined =
+          algebra::ScoreBar(pair.similarity, ir_score[result.left]);
+      if (result.combined == 0.0) continue;  // ScoreBar gates on relevance
+    } else {
+      result.combined = pair.similarity;
+    }
+    pairs.push_back(result);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const QueryPairResult& a, const QueryPairResult& b) {
+              if (a.combined != b.combined) return a.combined > b.combined;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  if (query.threshold.has_value()) {
+    if (query.threshold->min_score.has_value()) {
+      std::erase_if(pairs, [&](const QueryPairResult& pair) {
+        return !(pair.combined > *query.threshold->min_score);
+      });
+    }
+    if (query.threshold->top_k.has_value() &&
+        pairs.size() > *query.threshold->top_k) {
+      pairs.resize(*query.threshold->top_k);
+    }
+  }
+  for (const QueryPairResult& pair : pairs) {
+    output.results.push_back(QueryResultItem{pair.left, pair.combined});
+  }
+  output.pairs = std::move(pairs);
+  output.stats.returned = output.results.size();
+  return output;
+}
+
+Result<std::string> QueryEngine::RenderXml(const QueryOutput& output,
+                                           size_t limit) const {
+  std::string xml;
+  const size_t n = std::min(limit, output.results.size());
+  for (size_t i = 0; i < n; ++i) {
+    const QueryResultItem& item = output.results[i];
+    TIX_ASSIGN_OR_RETURN(const std::unique_ptr<xml::XmlNode> subtree,
+                         db_->ReconstructSubtree(item.node));
+    xml += "<result>\n  <score>";
+    xml += FormatDouble(item.score, 2);
+    xml += "</score>\n  ";
+    xml += xml::SerializeNode(*subtree);
+    xml += "\n</result>\n";
+  }
+  return xml;
+}
+
+}  // namespace tix::query

@@ -1,0 +1,88 @@
+#ifndef TIX_QUERY_ENGINE_H_
+#define TIX_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "query/ast.h"
+#include "storage/database.h"
+
+/// \file
+/// Query engine: compiles a parsed TIX query into the physical pipeline
+/// of Sec. 5 — structural matching for the boolean part, TermJoin for
+/// score generation, the stack-based Pick for granularity selection, and
+/// the Threshold operator for final filtering — and runs it.
+
+namespace tix::query {
+
+struct QueryResultItem {
+  storage::NodeId node = storage::kInvalidNodeId;
+  double score = 0.0;
+};
+
+/// One joined pair (join queries only): combined = ScoreBar(similarity,
+/// best IR component score of the left binding), or the similarity when
+/// the query has no SCORE clause.
+struct QueryPairResult {
+  storage::NodeId left = storage::kInvalidNodeId;
+  storage::NodeId right = storage::kInvalidNodeId;
+  double similarity = 0.0;
+  double combined = 0.0;
+};
+
+struct QueryStats {
+  /// Elements matched by the structural (anchor) part.
+  uint64_t anchors = 0;
+  /// Elements scored by TermJoin within scope.
+  uint64_t scored_elements = 0;
+  /// Elements surviving Pick.
+  uint64_t picked = 0;
+  uint64_t returned = 0;
+};
+
+struct QueryOutput {
+  std::vector<QueryResultItem> results;
+  /// Populated by join queries, parallel to `results` (results[i].node ==
+  /// pairs[i].left, results[i].score == pairs[i].combined).
+  std::vector<QueryPairResult> pairs;
+  QueryStats stats;
+};
+
+struct EngineOptions {
+  /// Use the Enhanced TermJoin (parent/child-count index).
+  bool enhanced_term_join = false;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(storage::Database* db, const index::InvertedIndex* index,
+              EngineOptions options = {})
+      : db_(db), index_(index), options_(options) {}
+
+  /// Parses and executes.
+  Result<QueryOutput> ExecuteText(std::string_view text);
+
+  Result<QueryOutput> Execute(const Query& query);
+
+  /// Renders results as the paper's <result><score>…</score>…</result>
+  /// elements (Figure 10's RETURN shape). At most `limit` results.
+  Result<std::string> RenderXml(const QueryOutput& output,
+                                size_t limit = 10) const;
+
+ private:
+  Result<QueryOutput> ExecuteJoin(const Query& query);
+  Result<std::unique_ptr<algebra::Scorer>> MakeScorerForClause(
+      const ScoreClause& clause, const algebra::IrPredicate& predicate) const;
+
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  EngineOptions options_;
+};
+
+}  // namespace tix::query
+
+#endif  // TIX_QUERY_ENGINE_H_

@@ -1,0 +1,239 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace tix::query {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* const kKeywords = new std::unordered_set<std::string>{
+      "FOR",  "IN",    "SCORE",  "USING",    "PICK",  "THRESHOLD",
+      "STOP", "AFTER", "RETURN", "DOCUMENT", "WHERE", "SIMJOIN",
+      "WITH", "SIMSCORE",
+  };
+  return *kKeywords;
+}
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto error = [&](const std::string& message) {
+    return Status::ParseError(
+        StrFormat("query:%d:%d: %s", line, column, message.c_str()));
+  };
+  auto advance = [&]() {
+    if (input[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto push = [&](TokenKind kind, std::string text, double number = 0.0) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.number = number;
+    token.line = line;
+    token.column = column;
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < input.size() && input[i] != '\n') advance();
+      continue;
+    }
+    if (c == '$') {
+      advance();
+      std::string name;
+      while (i < input.size() && IsNameChar(input[i])) {
+        name.push_back(input[i]);
+        advance();
+      }
+      if (name.empty()) return error("expected variable name after '$'");
+      push(TokenKind::kVariable, std::move(name));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      advance();
+      std::string value;
+      while (i < input.size() && input[i] != quote) {
+        value.push_back(input[i]);
+        advance();
+      }
+      if (i >= input.size()) return error("unterminated string literal");
+      advance();  // closing quote
+      push(TokenKind::kString, std::move(value));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.')) {
+        digits.push_back(input[i]);
+        advance();
+      }
+      push(TokenKind::kNumber, digits, std::strtod(digits.c_str(), nullptr));
+      continue;
+    }
+    if (IsNameStart(c)) {
+      std::string name;
+      while (i < input.size() && IsNameChar(input[i])) {
+        name.push_back(input[i]);
+        advance();
+      }
+      const std::string upper = [&] {
+        std::string out = name;
+        for (char& ch : out) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        return out;
+      }();
+      if (Keywords().count(upper) > 0) {
+        push(TokenKind::kKeyword, upper);
+      } else {
+        push(TokenKind::kIdentifier, std::move(name));
+      }
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, "//");
+          advance();
+          advance();
+        } else {
+          push(TokenKind::kSlash, "/");
+          advance();
+        }
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*");
+        advance();
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[");
+        advance();
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]");
+        advance();
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(");
+        advance();
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")");
+        advance();
+        continue;
+      case '{':
+        push(TokenKind::kLBrace, "{");
+        advance();
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, "}");
+        advance();
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",");
+        advance();
+        continue;
+      case '=':
+        push(TokenKind::kEquals, "=");
+        advance();
+        continue;
+      case '>':
+        push(TokenKind::kGreater, ">");
+        advance();
+        continue;
+      case '<':
+        push(TokenKind::kLess, "<");
+        advance();
+        continue;
+      case '@':
+        push(TokenKind::kAt, "@");
+        advance();
+        continue;
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace tix::query

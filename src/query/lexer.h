@@ -1,0 +1,58 @@
+#ifndef TIX_QUERY_LEXER_H_
+#define TIX_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file
+/// Tokenizer for the TIX query language — the paper's XQuery extension
+/// (Sec. 4) reduced to the clauses the engine executes: FOR / SCORE /
+/// PICK / THRESHOLD / RETURN with path expressions.
+
+namespace tix::query {
+
+enum class TokenKind {
+  kKeyword,     // FOR, IN, SCORE, USING, PICK, THRESHOLD, STOP, AFTER,
+                // RETURN, DOCUMENT
+  kVariable,    // $name
+  kIdentifier,  // element names, function names
+  kString,      // "..." or '...'
+  kNumber,      // 123 or 4.5
+  kSlash,       // /
+  kDoubleSlash,  // //
+  kStar,        // *
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kEquals,      // =
+  kGreater,     // >
+  kLess,        // <
+  kAt,          // @
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Raw text (keywords upper-cased, strings unquoted).
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// Splits query text into tokens; keywords are recognized
+/// case-insensitively and normalized to upper case.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace tix::query
+
+#endif  // TIX_QUERY_LEXER_H_

@@ -1,0 +1,313 @@
+#include "query/parser.h"
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace tix::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    TIX_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    TIX_ASSIGN_OR_RETURN(query.variable, ExpectVariable());
+    TIX_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    TIX_ASSIGN_OR_RETURN(query.path, ParsePath());
+
+    if (AtKeyword("FOR")) {
+      Take();
+      TIX_ASSIGN_OR_RETURN(query.variable2, ExpectVariable());
+      if (query.variable2 == query.variable) {
+        return Error("second FOR must bind a different variable");
+      }
+      TIX_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      TIX_ASSIGN_OR_RETURN(query.path2, ParsePath());
+    }
+    if (AtKeyword("SIMJOIN")) {
+      TIX_ASSIGN_OR_RETURN(query.simjoin, ParseSimJoin());
+    }
+
+    while (AtKeyword("SCORE") || AtKeyword("PICK") || AtKeyword("THRESHOLD")) {
+      if (AtKeyword("SCORE")) {
+        if (query.score.has_value()) return Error("duplicate SCORE clause");
+        TIX_ASSIGN_OR_RETURN(query.score, ParseScore());
+      } else if (AtKeyword("PICK")) {
+        if (query.pick.has_value()) return Error("duplicate PICK clause");
+        TIX_ASSIGN_OR_RETURN(query.pick, ParsePick());
+      } else {
+        if (query.threshold.has_value()) {
+          return Error("duplicate THRESHOLD clause");
+        }
+        TIX_ASSIGN_OR_RETURN(query.threshold, ParseThreshold());
+      }
+    }
+
+    TIX_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+    TIX_ASSIGN_OR_RETURN(query.return_variable, ExpectVariable());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+
+    // Semantic checks.
+    if (query.return_variable != query.variable) {
+      return Error("RETURN must use the first FOR variable $" +
+                   query.variable);
+    }
+    if (query.score.has_value() && query.score->variable != query.variable) {
+      return Error("SCORE must use the first FOR variable $" +
+                   query.variable);
+    }
+    if (query.pick.has_value() && query.pick->variable != query.variable) {
+      return Error("PICK must use the FOR variable $" + query.variable);
+    }
+    if (query.pick.has_value() && !query.score.has_value()) {
+      return Error("PICK requires a SCORE clause");
+    }
+    if (query.path2.has_value() != query.simjoin.has_value()) {
+      return Error("a second FOR and a SIMJOIN clause go together");
+    }
+    if (query.simjoin.has_value()) {
+      if (query.simjoin->left_variable != query.variable ||
+          query.simjoin->right_variable != query.variable2) {
+        return Error("SIMJOIN must relate $" + query.variable + " to $" +
+                     query.variable2 + " (in that order)");
+      }
+      if (query.pick.has_value()) {
+        return Error("PICK is not supported in join queries");
+      }
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& message) const {
+    const Token& token = Peek();
+    return Status::ParseError(StrFormat("query:%d:%d: %s", token.line,
+                                        token.column, message.c_str()));
+  }
+
+  bool AtKeyword(std::string_view keyword) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == keyword;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AtKeyword(keyword)) {
+      return Error("expected " + keyword + ", found " +
+                   TokenKindName(Peek().kind) +
+                   (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+    }
+    Take();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectVariable() {
+    if (Peek().kind != TokenKind::kVariable) {
+      return Error("expected a $variable");
+    }
+    return Take().text;
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected an identifier");
+    }
+    return Take().text;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected a string literal");
+    }
+    return Take().text;
+  }
+
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    return Take().number;
+  }
+
+  bool Consume(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Take();
+    return true;
+  }
+
+  Result<PathExpr> ParsePath() {
+    PathExpr path;
+    TIX_RETURN_IF_ERROR(ExpectKeyword("DOCUMENT"));
+    if (!Consume(TokenKind::kLParen)) return Error("expected '('");
+    TIX_ASSIGN_OR_RETURN(path.document, ExpectString());
+    if (!Consume(TokenKind::kRParen)) return Error("expected ')'");
+
+    while (Peek().kind == TokenKind::kSlash ||
+           Peek().kind == TokenKind::kDoubleSlash) {
+      PathStep step;
+      step.descendant = Take().kind == TokenKind::kDoubleSlash;
+      if (Consume(TokenKind::kStar)) {
+        step.name = "*";
+      } else {
+        TIX_ASSIGN_OR_RETURN(step.name, ExpectIdentifier());
+      }
+      while (Peek().kind == TokenKind::kLBracket) {
+        Take();
+        TIX_ASSIGN_OR_RETURN(StepPredicate predicate, ParseStepPredicate());
+        step.predicates.push_back(std::move(predicate));
+        if (!Consume(TokenKind::kRBracket)) return Error("expected ']'");
+      }
+      path.steps.push_back(std::move(step));
+    }
+    if (path.steps.empty()) {
+      return Error("path needs at least one step after document(...)");
+    }
+    return path;
+  }
+
+  Result<StepPredicate> ParseStepPredicate() {
+    StepPredicate predicate;
+    if (Consume(TokenKind::kAt)) {
+      TIX_ASSIGN_OR_RETURN(predicate.attribute, ExpectIdentifier());
+    } else {
+      // Relative element path, optionally ending in @attr.
+      TIX_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+      predicate.path.push_back(std::move(first));
+      while (Consume(TokenKind::kSlash)) {
+        if (Consume(TokenKind::kAt)) {
+          TIX_ASSIGN_OR_RETURN(predicate.attribute, ExpectIdentifier());
+          break;
+        }
+        TIX_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier());
+        predicate.path.push_back(std::move(next));
+      }
+    }
+    if (Consume(TokenKind::kEquals)) {
+      TIX_ASSIGN_OR_RETURN(std::string value, ExpectString());
+      predicate.value = std::move(value);
+    }
+    return predicate;
+  }
+
+  Result<std::vector<std::string>> ParsePhraseList() {
+    if (!Consume(TokenKind::kLBrace)) return Error("expected '{'");
+    std::vector<std::string> phrases;
+    if (!Consume(TokenKind::kRBrace)) {
+      for (;;) {
+        TIX_ASSIGN_OR_RETURN(std::string phrase, ExpectString());
+        phrases.push_back(std::move(phrase));
+        if (Consume(TokenKind::kRBrace)) break;
+        if (!Consume(TokenKind::kComma)) return Error("expected ',' or '}'");
+      }
+    }
+    return phrases;
+  }
+
+  Result<ScoreClause> ParseScore() {
+    TIX_RETURN_IF_ERROR(ExpectKeyword("SCORE"));
+    ScoreClause clause;
+    TIX_ASSIGN_OR_RETURN(clause.variable, ExpectVariable());
+    TIX_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    TIX_ASSIGN_OR_RETURN(clause.scorer, ExpectIdentifier());
+    if (clause.scorer != "foo" && clause.scorer != "complexfoo" &&
+        clause.scorer != "tfidf" && clause.scorer != "bm25") {
+      return Error("unknown scorer '" + clause.scorer +
+                   "' (expected foo, complexfoo, tfidf or bm25)");
+    }
+    if (!Consume(TokenKind::kLParen)) return Error("expected '('");
+    TIX_ASSIGN_OR_RETURN(clause.primary, ParsePhraseList());
+    if (Consume(TokenKind::kComma)) {
+      TIX_ASSIGN_OR_RETURN(clause.desirable, ParsePhraseList());
+    }
+    if (!Consume(TokenKind::kRParen)) return Error("expected ')'");
+    if (clause.primary.empty() && clause.desirable.empty()) {
+      return Error("SCORE needs at least one phrase");
+    }
+    return clause;
+  }
+
+  Result<PickClause> ParsePick() {
+    TIX_RETURN_IF_ERROR(ExpectKeyword("PICK"));
+    PickClause clause;
+    TIX_ASSIGN_OR_RETURN(clause.variable, ExpectVariable());
+    TIX_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    TIX_ASSIGN_OR_RETURN(clause.criterion, ExpectIdentifier());
+    if (clause.criterion != "pickfoo" && clause.criterion != "parity" &&
+        clause.criterion != "topfraction") {
+      return Error("unknown pick criterion '" + clause.criterion +
+                   "' (expected pickfoo, parity or topfraction)");
+    }
+    if (Consume(TokenKind::kLParen)) {
+      TIX_ASSIGN_OR_RETURN(clause.threshold, ExpectNumber());
+      if (Consume(TokenKind::kComma)) {
+        TIX_ASSIGN_OR_RETURN(clause.fraction, ExpectNumber());
+      }
+      if (!Consume(TokenKind::kRParen)) return Error("expected ')'");
+    }
+    return clause;
+  }
+
+  Result<SimJoinClause> ParseSimJoin() {
+    TIX_RETURN_IF_ERROR(ExpectKeyword("SIMJOIN"));
+    SimJoinClause clause;
+    TIX_ASSIGN_OR_RETURN(clause.left_variable, ExpectVariable());
+    if (!Consume(TokenKind::kSlash)) return Error("expected '/tag'");
+    TIX_ASSIGN_OR_RETURN(clause.left_tag, ExpectIdentifier());
+    TIX_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    TIX_ASSIGN_OR_RETURN(clause.right_variable, ExpectVariable());
+    if (!Consume(TokenKind::kSlash)) return Error("expected '/tag'");
+    TIX_ASSIGN_OR_RETURN(clause.right_tag, ExpectIdentifier());
+    if (AtKeyword("SIMSCORE")) {
+      Take();
+      if (!Consume(TokenKind::kGreater)) return Error("expected '>'");
+      TIX_ASSIGN_OR_RETURN(clause.min_similarity, ExpectNumber());
+    }
+    return clause;
+  }
+
+  Result<ThresholdClause> ParseThreshold() {
+    TIX_RETURN_IF_ERROR(ExpectKeyword("THRESHOLD"));
+    ThresholdClause clause;
+    // "score" lexes as the SCORE keyword; accept either spelling here.
+    if (AtKeyword("SCORE") ||
+        (Peek().kind == TokenKind::kIdentifier && Peek().text == "score")) {
+      Take();
+      if (!Consume(TokenKind::kGreater)) return Error("expected '>'");
+      TIX_ASSIGN_OR_RETURN(const double value, ExpectNumber());
+      clause.min_score = value;
+    }
+    if (AtKeyword("STOP")) {
+      Take();
+      TIX_RETURN_IF_ERROR(ExpectKeyword("AFTER"));
+      TIX_ASSIGN_OR_RETURN(const double k, ExpectNumber());
+      if (k < 0) return Error("STOP AFTER needs a non-negative count");
+      clause.top_k = static_cast<size_t>(k);
+    }
+    if (!clause.min_score.has_value() && !clause.top_k.has_value()) {
+      return Error("THRESHOLD needs 'score > V' and/or 'STOP AFTER K'");
+    }
+    return clause;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view input) {
+  TIX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tix::query

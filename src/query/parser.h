@@ -1,0 +1,19 @@
+#ifndef TIX_QUERY_PARSER_H_
+#define TIX_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+/// \file
+/// Recursive-descent parser for the TIX query language (grammar in
+/// ast.h). Errors carry line/column positions.
+
+namespace tix::query {
+
+Result<Query> ParseQuery(std::string_view input);
+
+}  // namespace tix::query
+
+#endif  // TIX_QUERY_PARSER_H_

@@ -1,0 +1,80 @@
+#include "query/similarity_join.h"
+
+#include <algorithm>
+
+#include "algebra/scoring.h"
+#include "text/tokenizer.h"
+
+namespace tix::query {
+
+Result<std::vector<SimilarityPair>> SimilarityJoin(
+    storage::Database* db, const std::vector<storage::NodeId>& left,
+    const std::vector<storage::NodeId>& right,
+    const SimilarityJoinOptions& options) {
+  // Materialize token lists once per side.
+  auto tokenize_all = [&](const std::vector<storage::NodeId>& nodes)
+      -> Result<std::vector<std::vector<std::string>>> {
+    std::vector<std::vector<std::string>> out;
+    out.reserve(nodes.size());
+    for (storage::NodeId node : nodes) {
+      TIX_ASSIGN_OR_RETURN(const std::string text, db->AllTextOf(node));
+      out.push_back(db->tokenizer().TokenizeToTerms(text));
+    }
+    return out;
+  };
+  TIX_ASSIGN_OR_RETURN(const std::vector<std::vector<std::string>> left_terms,
+                       tokenize_all(left));
+  TIX_ASSIGN_OR_RETURN(const std::vector<std::vector<std::string>> right_terms,
+                       tokenize_all(right));
+
+  std::vector<SimilarityPair> out;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      const double similarity =
+          algebra::ScoreSim(left_terms[i], right_terms[j]);
+      if (similarity > options.min_similarity) {
+        out.push_back(SimilarityPair{left[i], right[j], similarity});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SimilarityPair& a, const SimilarityPair& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  return out;
+}
+
+Result<std::vector<storage::NodeId>> FirstDescendantWithTag(
+    storage::Database* db, const std::vector<storage::NodeId>& scopes,
+    std::string_view tag) {
+  const storage::TagId tag_id = db->LookupTag(tag);
+  std::vector<storage::NodeId> out;
+  out.reserve(scopes.size());
+  for (storage::NodeId scope : scopes) {
+    storage::NodeId found = storage::kInvalidNodeId;
+    if (tag_id != text::kInvalidTermId) {
+      TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                           db->GetNode(scope));
+      for (storage::NodeId id = scope + 1; id < db->num_nodes(); ++id) {
+        TIX_ASSIGN_OR_RETURN(const storage::NodeRecord candidate,
+                             db->GetNode(id));
+        if (candidate.doc_id != record.doc_id ||
+            candidate.start >= record.end) {
+          break;
+        }
+        if (candidate.is_element() && candidate.tag_id == tag_id) {
+          found = id;
+          break;
+        }
+      }
+    }
+    out.push_back(found);
+  }
+  return out;
+}
+
+}  // namespace tix::query

@@ -1,0 +1,48 @@
+#ifndef TIX_QUERY_SIMILARITY_JOIN_H_
+#define TIX_QUERY_SIMILARITY_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+/// \file
+/// The scored value join of Sec. 3.2.3 / Example 5.1 in its most common
+/// form: an IR similarity join. Pairs of elements from two inputs are
+/// scored with ScoreSim (common-word count, Fig. 9); pairs above a
+/// threshold survive, and the pair score can then be combined with an IR
+/// score using ScoreBar — exactly the shape of Query 3.
+
+namespace tix::query {
+
+struct SimilarityPair {
+  storage::NodeId left = storage::kInvalidNodeId;
+  storage::NodeId right = storage::kInvalidNodeId;
+  /// ScoreSim of the two elements' text.
+  double similarity = 0.0;
+};
+
+struct SimilarityJoinOptions {
+  /// Keep pairs with similarity > threshold (Query 3 uses > 1).
+  double min_similarity = 0.0;
+};
+
+/// Joins two element sets on text similarity. Text of each element is
+/// its alltext(), tokenized with the database tokenizer; each side's
+/// token lists are materialized once. Output is sorted by descending
+/// similarity (ties: left, right node order).
+Result<std::vector<SimilarityPair>> SimilarityJoin(
+    storage::Database* db, const std::vector<storage::NodeId>& left,
+    const std::vector<storage::NodeId>& right,
+    const SimilarityJoinOptions& options = {});
+
+/// Convenience: all elements with `tag` under each element of `scopes`
+/// (first match per scope), e.g. article-title per article.
+Result<std::vector<storage::NodeId>> FirstDescendantWithTag(
+    storage::Database* db, const std::vector<storage::NodeId>& scopes,
+    std::string_view tag);
+
+}  // namespace tix::query
+
+#endif  // TIX_QUERY_SIMILARITY_JOIN_H_

@@ -1,0 +1,151 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace tix::storage {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+const char* PageHandle::data() const {
+  TIX_DCHECK(valid());
+  return pool_->frames_[frame_index_].data.get();
+}
+
+char* PageHandle::MutableData() {
+  TIX_DCHECK(valid());
+  BufferPool::Frame& frame = pool_->frames_[frame_index_];
+  frame.dirty = true;
+  return frame.data.get();
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(size_t capacity_pages) {
+  TIX_CHECK_GT(capacity_pages, 0u);
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_pages - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  const Status status = FlushAll();
+  if (!status.ok()) {
+    TIX_LOG(Error) << "buffer pool flush on destruction failed: "
+                   << status.ToString();
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PagedFile* file, PageNumber page_no) {
+  TIX_DCHECK(file != nullptr);
+  const uint64_t key = Key(file, page_no);
+  auto it = page_table_.find(key);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageHandle(this, it->second);
+  }
+
+  ++stats_.misses;
+  TIX_ASSIGN_OR_RETURN(const size_t frame_index, AcquireFrame());
+  Frame& frame = frames_[frame_index];
+  TIX_RETURN_IF_ERROR(file->ReadPage(page_no, frame.data.get()));
+  frame.file = file;
+  frame.page_no = page_no;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_use = true;
+  frame.in_lru = false;
+  page_table_.emplace(key, frame_index);
+  return PageHandle(this, frame_index);
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  TIX_DCHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_back(frame_index);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  if (frame.dirty && frame.file != nullptr) {
+    TIX_RETURN_IF_ERROR(frame.file->WritePage(frame.page_no, frame.data.get()));
+    frame.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t frame_index = free_frames_.back();
+    free_frames_.pop_back();
+    return frame_index;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned; increase capacity");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[victim];
+  frame.in_lru = false;
+  TIX_RETURN_IF_ERROR(WriteBack(frame));
+  page_table_.erase(Key(frame.file, frame.page_no));
+  frame.in_use = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.in_use) TIX_RETURN_IF_ERROR(WriteBack(frame));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictFile(PagedFile* file) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.in_use || frame.file != file) continue;
+    if (frame.pin_count > 0) {
+      return Status::Internal("EvictFile: page still pinned");
+    }
+    TIX_RETURN_IF_ERROR(WriteBack(frame));
+    page_table_.erase(Key(frame.file, frame.page_no));
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.in_use = false;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,452 @@
+#include "storage/database.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace tix::storage {
+
+namespace {
+
+constexpr uint64_t kCatalogMagic = 0x5449581043415401ULL;  // "TIX\x10CAT\x01"
+
+std::string NodeFilePath(const std::string& dir) { return dir + "/nodes.tix"; }
+std::string TextFilePath(const std::string& dir) { return dir + "/text.tix"; }
+std::string CatalogPath(const std::string& dir) { return dir + "/catalog.tix"; }
+
+Status EnsureDirectory(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IOError("not a directory: " + dir);
+    }
+    return Status::OK();
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IOError("cannot create directory: " + dir);
+  }
+  return Status::OK();
+}
+
+/// Encodes an element's attributes into a compact blob.
+std::string EncodeAttributes(const std::vector<xml::XmlAttribute>& attrs) {
+  std::string out;
+  PutVarint64(&out, attrs.size());
+  for (const xml::XmlAttribute& attr : attrs) {
+    PutVarint64(&out, attr.name.size());
+    out += attr.name;
+    PutVarint64(&out, attr.value.size());
+    out += attr.value;
+  }
+  return out;
+}
+
+Result<AttributeList> DecodeAttributes(std::string_view blob) {
+  AttributeList attrs;
+  TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
+  for (uint64_t i = 0; i < count; ++i) {
+    xml::XmlAttribute attr;
+    TIX_ASSIGN_OR_RETURN(const uint64_t name_len, GetVarint64(&blob));
+    if (blob.size() < name_len) return Status::Corruption("attr blob");
+    attr.name = std::string(blob.substr(0, name_len));
+    blob.remove_prefix(name_len);
+    TIX_ASSIGN_OR_RETURN(const uint64_t value_len, GetVarint64(&blob));
+    if (blob.size() < value_len) return Status::Corruption("attr blob");
+    attr.value = std::string(blob.substr(0, value_len));
+    blob.remove_prefix(value_len);
+    attrs.push_back(std::move(attr));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Database::Database(std::string dir, const DatabaseOptions& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      tokenizer_(options.tokenizer),
+      pool_(std::make_unique<BufferPool>(options.buffer_pool_pages)) {}
+
+Result<std::unique_ptr<Database>> Database::Create(
+    const std::string& dir, const DatabaseOptions& options) {
+  TIX_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::unique_ptr<Database> db(new Database(dir, options));
+  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Create(NodeFilePath(dir)));
+  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Create(TextFilePath(dir)));
+  db->node_store_ =
+      std::make_unique<NodeStore>(db->pool_.get(), std::move(node_file));
+  db->text_store_ =
+      std::make_unique<TextStore>(db->pool_.get(), std::move(text_file));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database(dir, options));
+  TIX_RETURN_IF_ERROR(db->LoadCatalog());
+  TIX_RETURN_IF_ERROR(db->RebuildIndexes());
+  return db;
+}
+
+Result<DocId> Database::AddDocument(const xml::XmlDocument& document) {
+  if (document.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+
+  const DocId doc_id = static_cast<DocId>(documents_.size());
+  const NodeId base = static_cast<NodeId>(node_store_->num_nodes());
+
+  // Phase 1: assign numbering and build records in memory. Iterative
+  // DFS; `frame.child_index` tracks progress through a node's children.
+  struct Frame {
+    const xml::XmlNode* node;
+    size_t child_index;
+    NodeId local_id;  // index into `records`
+  };
+
+  std::vector<NodeRecord> records;
+  records.reserve(document.NodeCount());
+  // Byte blobs (text / attributes) to append, aligned with records.
+  std::vector<std::string> blobs;
+  blobs.reserve(document.NodeCount());
+
+  uint32_t counter = 0;
+  uint64_t word_count = 0;
+
+  auto enter_node = [&](const xml::XmlNode& node,
+                        uint16_t level) -> NodeId {
+    const NodeId local = static_cast<NodeId>(records.size());
+    NodeRecord record;
+    record.doc_id = doc_id;
+    record.level = level;
+    if (node.is_element()) {
+      record.kind = NodeKind::kElement;
+      record.tag_id = tags_.Intern(node.tag());
+      record.start = counter++;
+      if (!node.attributes().empty()) {
+        blobs.push_back(EncodeAttributes(node.attributes()));
+      } else {
+        blobs.emplace_back();
+      }
+    } else {
+      record.kind = NodeKind::kText;
+      record.tag_id = 0;
+      record.start = counter;
+      const std::vector<text::Token> tokens = tokenizer_.Tokenize(node.text());
+      // Raw positions (before stopword removal) define how much interval
+      // space the text node occupies, so phrase offsets are stable.
+      uint32_t raw_count = 0;
+      if (!tokens.empty()) raw_count = tokens.back().position + 1;
+      record.num_words = raw_count;
+      record.end = record.start + raw_count;
+      counter = record.end + 1;
+      word_count += raw_count;
+      blobs.push_back(node.text());
+    }
+    records.push_back(record);
+    return local;
+  };
+
+  std::vector<Frame> stack;
+  const NodeId root_local = enter_node(*document.root(), 0);
+  stack.push_back(Frame{document.root(), 0, root_local});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& children = frame.node->children();
+    if (frame.child_index < children.size()) {
+      const xml::XmlNode* child = children[frame.child_index].get();
+      ++frame.child_index;
+      const uint16_t level =
+          static_cast<uint16_t>(records[frame.local_id].level + 1);
+      const NodeId child_local = enter_node(*child, level);
+      NodeRecord& parent_record = records[frame.local_id];
+      records[child_local].parent = frame.local_id;  // local; fixed below
+      if (parent_record.first_child == kInvalidNodeId) {
+        parent_record.first_child = child_local;
+      }
+      ++parent_record.num_children;
+      if (child->is_element() && !child->children().empty()) {
+        stack.push_back(Frame{child, 0, child_local});
+      }
+      // Leaf elements and text nodes finish immediately.
+      if (child->is_element() && child->children().empty()) {
+        records[child_local].end = counter++;
+      }
+    } else {
+      records[frame.local_id].end = counter++;
+      stack.pop_back();
+    }
+  }
+
+  // Backfill next_sibling links: children of each parent appear in
+  // ascending local-id order; walk records linking siblings via parent.
+  {
+    std::vector<NodeId> last_child(records.size(), kInvalidNodeId);
+    for (NodeId local = 1; local < records.size(); ++local) {
+      const NodeId parent = records[local].parent;
+      if (last_child[parent] != kInvalidNodeId) {
+        records[last_child[parent]].next_sibling = local;
+      }
+      last_child[parent] = local;
+    }
+  }
+
+  // Phase 2: append blobs and records; translate local ids to global.
+  for (NodeId local = 0; local < records.size(); ++local) {
+    NodeRecord& record = records[local];
+    if (!blobs[local].empty()) {
+      TIX_ASSIGN_OR_RETURN(record.blob_offset,
+                           text_store_->Append(blobs[local]));
+      record.blob_length = static_cast<uint32_t>(blobs[local].size());
+    }
+    if (record.parent != kInvalidNodeId) record.parent += base;
+    if (record.first_child != kInvalidNodeId) record.first_child += base;
+    if (record.next_sibling != kInvalidNodeId) record.next_sibling += base;
+
+    TIX_ASSIGN_OR_RETURN(const NodeId assigned, node_store_->Append(record));
+    TIX_CHECK_EQ(assigned, base + local);
+
+    // Maintain in-memory indexes.
+    parent_index_.push_back(record.parent);
+    child_count_.push_back(record.num_children);
+    level_index_.push_back(record.level);
+    start_index_.push_back(record.start);
+    end_index_.push_back(record.end);
+    doc_index_.push_back(record.doc_id);
+    if (record.is_element()) {
+      if (record.tag_id >= tag_index_.size()) {
+        tag_index_.resize(record.tag_id + 1);
+      }
+      tag_index_[record.tag_id].push_back(assigned);
+    }
+  }
+
+  DocumentInfo info;
+  info.doc_id = doc_id;
+  info.name = document.name();
+  info.root = base;
+  info.node_count = records.size();
+  info.word_count = word_count;
+  documents_.push_back(info);
+  return doc_id;
+}
+
+Result<DocumentInfo> Database::GetDocumentByName(
+    const std::string& name) const {
+  for (const DocumentInfo& info : documents_) {
+    if (info.name == name) return info;
+  }
+  return Status::NotFound("no document named '" + name + "'");
+}
+
+const std::vector<NodeId>* Database::ElementsWithTag(TagId tag) const {
+  if (tag >= tag_index_.size() || tag_index_[tag].empty()) return nullptr;
+  return &tag_index_[tag];
+}
+
+Result<std::vector<NodeId>> Database::AncestorsOf(NodeId id) {
+  std::vector<NodeId> chain;
+  TIX_ASSIGN_OR_RETURN(NodeRecord record, node_store_->Get(id));
+  NodeId current = record.parent;
+  while (current != kInvalidNodeId) {
+    chain.push_back(current);
+    TIX_ASSIGN_OR_RETURN(record, node_store_->Get(current));
+    current = record.parent;
+  }
+  return chain;
+}
+
+Result<uint32_t> Database::CountChildrenByNavigation(NodeId id) {
+  TIX_ASSIGN_OR_RETURN(NodeRecord record, node_store_->Get(id));
+  uint32_t count = 0;
+  NodeId child = record.first_child;
+  while (child != kInvalidNodeId) {
+    ++count;
+    TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
+                         node_store_->Get(child));
+    child = child_record.next_sibling;
+  }
+  return count;
+}
+
+Result<std::vector<NodeId>> Database::ChildrenOf(NodeId id) {
+  TIX_ASSIGN_OR_RETURN(NodeRecord record, node_store_->Get(id));
+  std::vector<NodeId> children;
+  NodeId child = record.first_child;
+  while (child != kInvalidNodeId) {
+    children.push_back(child);
+    TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
+                         node_store_->Get(child));
+    child = child_record.next_sibling;
+  }
+  return children;
+}
+
+Result<std::string> Database::TextOf(const NodeRecord& record) {
+  if (!record.is_text()) {
+    return Status::InvalidArgument("TextOf on a non-text node");
+  }
+  if (record.blob_length == 0) return std::string();
+  return text_store_->Read(record.blob_offset, record.blob_length);
+}
+
+Result<AttributeList> Database::AttributesOf(const NodeRecord& record) {
+  if (!record.is_element()) {
+    return Status::InvalidArgument("AttributesOf on a non-element node");
+  }
+  if (record.blob_length == 0) return AttributeList();
+  TIX_ASSIGN_OR_RETURN(const std::string blob,
+                       text_store_->Read(record.blob_offset,
+                                         record.blob_length));
+  return DecodeAttributes(blob);
+}
+
+Result<std::string> Database::AllTextOf(NodeId id) {
+  TIX_ASSIGN_OR_RETURN(const NodeRecord root, node_store_->Get(id));
+  if (root.is_text()) return TextOf(root);
+  // Text nodes in the subtree are exactly the text records in the node-id
+  // range (id, x] with start within root's interval; walk the range.
+  std::string out;
+  for (NodeId current = id + 1; current < num_nodes(); ++current) {
+    TIX_ASSIGN_OR_RETURN(const NodeRecord record, node_store_->Get(current));
+    if (record.doc_id != root.doc_id || record.start >= root.end) break;
+    if (record.is_text()) {
+      TIX_ASSIGN_OR_RETURN(const std::string text, TextOf(record));
+      if (!out.empty()) out.push_back(' ');
+      out += text;
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<xml::XmlNode>> Database::ReconstructSubtree(NodeId id) {
+  TIX_ASSIGN_OR_RETURN(const NodeRecord record, node_store_->Get(id));
+  if (record.is_text()) {
+    TIX_ASSIGN_OR_RETURN(std::string data, TextOf(record));
+    return xml::XmlNode::MakeText(std::move(data));
+  }
+  auto element = xml::XmlNode::MakeElement(TagName(record.tag_id));
+  TIX_ASSIGN_OR_RETURN(AttributeList attrs, AttributesOf(record));
+  for (xml::XmlAttribute& attr : attrs) {
+    element->AddAttribute(std::move(attr.name), std::move(attr.value));
+  }
+  NodeId child = record.first_child;
+  while (child != kInvalidNodeId) {
+    TIX_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> child_dom,
+                         ReconstructSubtree(child));
+    element->AddChild(std::move(child_dom));
+    TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
+                         node_store_->Get(child));
+    child = child_record.next_sibling;
+  }
+  return element;
+}
+
+Status Database::Save() {
+  TIX_RETURN_IF_ERROR(pool_->FlushAll());
+  TIX_RETURN_IF_ERROR(node_store_->file()->Sync());
+  TIX_RETURN_IF_ERROR(text_store_->file()->Sync());
+  return SaveCatalog();
+}
+
+Status Database::SaveCatalog() const {
+  std::string blob;
+  PutVarint64(&blob, kCatalogMagic);
+  PutVarint64(&blob, node_store_->num_nodes());
+  PutVarint64(&blob, text_store_->size_bytes());
+  const std::string tags = tags_.Serialize();
+  PutVarint64(&blob, tags.size());
+  blob += tags;
+  PutVarint64(&blob, documents_.size());
+  for (const DocumentInfo& doc : documents_) {
+    PutVarint64(&blob, doc.name.size());
+    blob += doc.name;
+    PutVarint64(&blob, doc.root);
+    PutVarint64(&blob, doc.node_count);
+    PutVarint64(&blob, doc.word_count);
+  }
+  std::ofstream out(CatalogPath(dir_), std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write catalog in " + dir_);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  return out.good() ? Status::OK()
+                    : Status::IOError("catalog write failed in " + dir_);
+}
+
+Status Database::LoadCatalog() {
+  std::ifstream in(CatalogPath(dir_), std::ios::binary);
+  if (!in) return Status::IOError("cannot open catalog in " + dir_);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob_storage = buffer.str();
+  std::string_view blob(blob_storage);
+
+  TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
+  if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  TIX_ASSIGN_OR_RETURN(const uint64_t num_nodes, GetVarint64(&blob));
+  TIX_ASSIGN_OR_RETURN(const uint64_t text_bytes, GetVarint64(&blob));
+  TIX_ASSIGN_OR_RETURN(const uint64_t tags_size, GetVarint64(&blob));
+  if (blob.size() < tags_size) return Status::Corruption("catalog truncated");
+  TIX_ASSIGN_OR_RETURN(tags_,
+                       text::TermDictionary::Deserialize(
+                           blob.substr(0, tags_size)));
+  blob.remove_prefix(tags_size);
+  TIX_ASSIGN_OR_RETURN(const uint64_t num_docs, GetVarint64(&blob));
+  documents_.clear();
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    DocumentInfo doc;
+    doc.doc_id = static_cast<DocId>(i);
+    TIX_ASSIGN_OR_RETURN(const uint64_t name_len, GetVarint64(&blob));
+    if (blob.size() < name_len) return Status::Corruption("catalog truncated");
+    doc.name = std::string(blob.substr(0, name_len));
+    blob.remove_prefix(name_len);
+    TIX_ASSIGN_OR_RETURN(const uint64_t root, GetVarint64(&blob));
+    doc.root = static_cast<NodeId>(root);
+    TIX_ASSIGN_OR_RETURN(doc.node_count, GetVarint64(&blob));
+    TIX_ASSIGN_OR_RETURN(doc.word_count, GetVarint64(&blob));
+    documents_.push_back(std::move(doc));
+  }
+
+  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Open(NodeFilePath(dir_)));
+  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Open(TextFilePath(dir_)));
+  node_store_ = std::make_unique<NodeStore>(pool_.get(), std::move(node_file),
+                                            num_nodes);
+  text_store_ = std::make_unique<TextStore>(pool_.get(), std::move(text_file),
+                                            text_bytes);
+  return Status::OK();
+}
+
+Status Database::RebuildIndexes() {
+  const uint64_t n = node_store_->num_nodes();
+  parent_index_.assign(n, kInvalidNodeId);
+  child_count_.assign(n, 0);
+  level_index_.assign(n, 0);
+  start_index_.assign(n, 0);
+  end_index_.assign(n, 0);
+  doc_index_.assign(n, 0);
+  tag_index_.assign(tags_.size(), {});
+  for (NodeId id = 0; id < n; ++id) {
+    TIX_ASSIGN_OR_RETURN(const NodeRecord record, node_store_->Get(id));
+    parent_index_[id] = record.parent;
+    child_count_[id] = record.num_children;
+    level_index_[id] = record.level;
+    start_index_[id] = record.start;
+    end_index_[id] = record.end;
+    doc_index_[id] = record.doc_id;
+    if (record.is_element()) {
+      if (record.tag_id >= tag_index_.size()) {
+        tag_index_.resize(record.tag_id + 1);
+      }
+      tag_index_[record.tag_id].push_back(id);
+    }
+  }
+  node_store_->ResetCounters();
+  return Status::OK();
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,110 @@
+#include "storage/file_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace tix::storage {
+
+namespace {
+std::atomic<uint32_t> g_next_file_id{1};
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+PagedFile::~PagedFile() { Close(); }
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("create", path));
+  auto file = std::make_unique<PagedFile>();
+  file->fd_ = fd;
+  file->page_count_ = 0;
+  file->path_ = path;
+  file->file_id_ = g_next_file_id.fetch_add(1);
+  return file;
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  auto file = std::make_unique<PagedFile>();
+  file->fd_ = fd;
+  file->page_count_ =
+      static_cast<PageNumber>(static_cast<uint64_t>(st.st_size) / kPageSize);
+  file->path_ = path;
+  file->file_id_ = g_next_file_id.fetch_add(1);
+  return file;
+}
+
+Status PagedFile::ReadPage(PageNumber page_no, char* buffer) {
+  TIX_CHECK(fd_ >= 0);
+  if (page_no >= page_count_) {
+    std::memset(buffer, 0, kPageSize);
+    return Status::OK();
+  }
+  const off_t offset = static_cast<off_t>(page_no) * kPageSize;
+  ssize_t total = 0;
+  while (total < static_cast<ssize_t>(kPageSize)) {
+    const ssize_t n =
+        ::pread(fd_, buffer + total, kPageSize - total, offset + total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread", path_));
+    }
+    if (n == 0) {
+      // Short file (page partially written); zero-fill the rest.
+      std::memset(buffer + total, 0, kPageSize - total);
+      break;
+    }
+    total += n;
+  }
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(PageNumber page_no, const char* buffer) {
+  TIX_CHECK(fd_ >= 0);
+  const off_t offset = static_cast<off_t>(page_no) * kPageSize;
+  ssize_t total = 0;
+  while (total < static_cast<ssize_t>(kPageSize)) {
+    const ssize_t n =
+        ::pwrite(fd_, buffer + total, kPageSize - total, offset + total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite", path_));
+    }
+    total += n;
+  }
+  if (page_no >= page_count_) page_count_ = page_no + 1;
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", path_));
+  }
+  return Status::OK();
+}
+
+void PagedFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,59 @@
+#ifndef TIX_STORAGE_FILE_MANAGER_H_
+#define TIX_STORAGE_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+/// \file
+/// Page-granular file I/O. Each paged store (node table, text heap,
+/// postings) owns one PagedFile; all reads and writes go through the
+/// buffer pool, never directly through this class, except for bulk
+/// loading.
+
+namespace tix::storage {
+
+/// A file addressed in units of kPageSize. Not thread-safe (the engine is
+/// single-threaded by design; see README).
+class PagedFile {
+ public:
+  PagedFile() = default;
+  ~PagedFile();
+  TIX_DISALLOW_COPY_AND_ASSIGN(PagedFile);
+
+  /// Creates (truncating) or opens the file at `path`.
+  static Result<std::unique_ptr<PagedFile>> Create(const std::string& path);
+  static Result<std::unique_ptr<PagedFile>> Open(const std::string& path);
+
+  /// Reads page `page_no` into `buffer` (kPageSize bytes). Reading a page
+  /// beyond the current end yields zeros (fresh page semantics).
+  Status ReadPage(PageNumber page_no, char* buffer);
+
+  /// Writes kPageSize bytes from `buffer` to page `page_no`, extending
+  /// the file as needed.
+  Status WritePage(PageNumber page_no, const char* buffer);
+
+  /// Number of complete pages currently in the file.
+  PageNumber page_count() const { return page_count_; }
+
+  const std::string& path() const { return path_; }
+
+  /// A process-unique id used as part of the buffer-pool key.
+  uint32_t file_id() const { return file_id_; }
+
+  Status Sync();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  PageNumber page_count_ = 0;
+  std::string path_;
+  uint32_t file_id_ = 0;
+};
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_FILE_MANAGER_H_

@@ -1,0 +1,109 @@
+#ifndef TIX_STORAGE_NODE_RECORD_H_
+#define TIX_STORAGE_NODE_RECORD_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+/// \file
+/// The on-disk representation of one XML node. Nodes are numbered with
+/// the interval ("region") encoding the structural-join literature uses
+/// (Zhang et al. 2001, Al-Khalifa et al. 2002): every node carries
+/// (doc_id, start, end, level) where `start`/`end` are positions in a
+/// per-document word-granularity counter, so
+///
+///   a is an ancestor of b  <=>  same doc && a.start < b.start && b.end < a.end
+///
+/// and word offsets used by PhraseFinder live in the same coordinate
+/// space as node boundaries.
+
+namespace tix::storage {
+
+/// Global node id: ordinal of the node in the database-wide node table.
+/// Nodes of one document are contiguous and in document order, so node-id
+/// order equals (doc_id, start) order.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+using DocId = uint32_t;
+using TagId = uint32_t;
+
+enum class NodeKind : uint8_t { kElement = 0, kText = 1 };
+
+/// Fixed-size record for one node. For text nodes `blob_offset` /
+/// `blob_length` locate the character data in the text heap and
+/// `num_words` is its token count; for elements they locate the encoded
+/// attribute list (0/0 when the element has no attributes).
+struct NodeRecord {
+  NodeKind kind = NodeKind::kElement;
+  uint16_t level = 0;
+  DocId doc_id = 0;
+  TagId tag_id = 0;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  NodeId parent = kInvalidNodeId;
+  NodeId first_child = kInvalidNodeId;
+  NodeId next_sibling = kInvalidNodeId;
+  uint32_t num_children = 0;
+  uint64_t blob_offset = 0;
+  uint32_t blob_length = 0;
+  uint32_t num_words = 0;
+
+  bool is_element() const { return kind == NodeKind::kElement; }
+  bool is_text() const { return kind == NodeKind::kText; }
+
+  /// Structural containment test (strict: a node does not contain
+  /// itself).
+  bool Contains(const NodeRecord& other) const {
+    return doc_id == other.doc_id && start < other.start && other.end < end;
+  }
+
+  /// Containment-or-self, the `ad*` relationship of TIX pattern trees.
+  bool ContainsOrSelf(const NodeRecord& other) const {
+    return doc_id == other.doc_id && start <= other.start && other.end <= end;
+  }
+};
+
+/// Serialized size of a NodeRecord slot.
+inline constexpr size_t kNodeRecordSize = 56;
+inline constexpr size_t kRecordsPerPage = kPageSize / kNodeRecordSize;
+
+/// Encodes `record` into exactly kNodeRecordSize bytes at `dst`.
+inline void EncodeNodeRecord(const NodeRecord& record, char* dst) {
+  EncodeU8(dst + 0, static_cast<uint8_t>(record.kind));
+  EncodeU16(dst + 2, record.level);
+  EncodeU32(dst + 4, record.doc_id);
+  EncodeU32(dst + 8, record.tag_id);
+  EncodeU32(dst + 12, record.start);
+  EncodeU32(dst + 16, record.end);
+  EncodeU32(dst + 20, record.parent);
+  EncodeU32(dst + 24, record.first_child);
+  EncodeU32(dst + 28, record.next_sibling);
+  EncodeU32(dst + 32, record.num_children);
+  EncodeU64(dst + 36, record.blob_offset);
+  EncodeU32(dst + 44, record.blob_length);
+  EncodeU32(dst + 48, record.num_words);
+}
+
+/// Decodes a record previously written by EncodeNodeRecord.
+inline NodeRecord DecodeNodeRecord(const char* src) {
+  NodeRecord record;
+  record.kind = static_cast<NodeKind>(DecodeU8(src + 0));
+  record.level = DecodeU16(src + 2);
+  record.doc_id = DecodeU32(src + 4);
+  record.tag_id = DecodeU32(src + 8);
+  record.start = DecodeU32(src + 12);
+  record.end = DecodeU32(src + 16);
+  record.parent = DecodeU32(src + 20);
+  record.first_child = DecodeU32(src + 24);
+  record.next_sibling = DecodeU32(src + 28);
+  record.num_children = DecodeU32(src + 32);
+  record.blob_offset = DecodeU64(src + 36);
+  record.blob_length = DecodeU32(src + 44);
+  record.num_words = DecodeU32(src + 48);
+  return record;
+}
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_NODE_RECORD_H_

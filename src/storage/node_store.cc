@@ -1,0 +1,44 @@
+#include "storage/node_store.h"
+
+#include "common/logging.h"
+
+namespace tix::storage {
+
+NodeStore::~NodeStore() {
+  const Status status = pool_->EvictFile(file_.get());
+  if (!status.ok()) {
+    TIX_LOG(Error) << "node store flush on destruction failed: "
+                   << status.ToString();
+  }
+}
+
+Result<NodeId> NodeStore::Append(const NodeRecord& record) {
+  if (num_nodes_ >= kInvalidNodeId) {
+    return Status::ResourceExhausted("node table full");
+  }
+  const NodeId id = static_cast<NodeId>(num_nodes_);
+  TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), PageOf(id)));
+  EncodeNodeRecord(record, page.MutableData() + SlotOf(id));
+  ++num_nodes_;
+  return id;
+}
+
+Result<NodeRecord> NodeStore::Get(NodeId id) {
+  if (id >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  ++record_fetches_;
+  TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), PageOf(id)));
+  return DecodeNodeRecord(page.data() + SlotOf(id));
+}
+
+Status NodeStore::Update(NodeId id, const NodeRecord& record) {
+  if (id >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), PageOf(id)));
+  EncodeNodeRecord(record, page.MutableData() + SlotOf(id));
+  return Status::OK();
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,65 @@
+#ifndef TIX_STORAGE_NODE_STORE_H_
+#define TIX_STORAGE_NODE_STORE_H_
+
+#include <memory>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/node_record.h"
+
+/// \file
+/// The node table: an append-only paged file of fixed-size NodeRecords,
+/// accessed through the buffer pool. This is the "database" every
+/// record-level data access in the paper's experiments goes through.
+
+namespace tix::storage {
+
+class NodeStore {
+ public:
+  /// The store does not own the buffer pool; it owns the file.
+  NodeStore(BufferPool* pool, std::unique_ptr<PagedFile> file,
+            uint64_t num_nodes = 0)
+      : pool_(pool), file_(std::move(file)), num_nodes_(num_nodes) {}
+  /// Flushes and drops this file's pages before the file handle dies.
+  ~NodeStore();
+  TIX_DISALLOW_COPY_AND_ASSIGN(NodeStore);
+
+  /// Appends a record and returns its NodeId.
+  Result<NodeId> Append(const NodeRecord& record);
+
+  /// Fetches a record (one buffer-pool page access). Counted in
+  /// `record_fetches`.
+  Result<NodeRecord> Get(NodeId id);
+
+  /// Overwrites an existing record (used by the loader to backfill
+  /// child/sibling links discovered after the record was appended).
+  Status Update(NodeId id, const NodeRecord& record);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+
+  /// Number of Get() calls since the last ResetCounters() — the "data
+  /// accesses" the paper's Enhanced TermJoin avoids.
+  uint64_t record_fetches() const { return record_fetches_; }
+  void ResetCounters() { record_fetches_ = 0; }
+
+  PagedFile* file() { return file_.get(); }
+  Status Flush() { return pool_->FlushAll(); }
+
+  static PageNumber PageOf(NodeId id) {
+    return static_cast<PageNumber>(id / kRecordsPerPage);
+  }
+  static size_t SlotOf(NodeId id) {
+    return static_cast<size_t>(id % kRecordsPerPage) * kNodeRecordSize;
+  }
+
+ private:
+  BufferPool* pool_;
+  std::unique_ptr<PagedFile> file_;
+  uint64_t num_nodes_;
+  uint64_t record_fetches_ = 0;
+};
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_NODE_STORE_H_

@@ -1,0 +1,50 @@
+#ifndef TIX_STORAGE_PAGE_H_
+#define TIX_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+/// \file
+/// Page constants and little-endian field coding helpers shared by the
+/// paged stores.
+
+namespace tix::storage {
+
+/// Size of one disk page. All paged files are multiples of this.
+inline constexpr size_t kPageSize = 8192;
+
+using PageNumber = uint32_t;
+inline constexpr PageNumber kInvalidPage = UINT32_MAX;
+
+/// Little-endian encode/decode of fixed-width integers at arbitrary byte
+/// positions. memcpy keeps this alignment-safe; the byte swaps compile
+/// away on little-endian targets.
+inline void EncodeU8(char* dst, uint8_t v) { std::memcpy(dst, &v, 1); }
+inline void EncodeU16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeU32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeU64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint8_t DecodeU8(const char* src) {
+  uint8_t v;
+  std::memcpy(&v, src, 1);
+  return v;
+}
+inline uint16_t DecodeU16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeU32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeU64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_PAGE_H_

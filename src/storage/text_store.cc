@@ -1,0 +1,59 @@
+#include "storage/text_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tix::storage {
+
+TextStore::~TextStore() {
+  const Status status = pool_->EvictFile(file_.get());
+  if (!status.ok()) {
+    TIX_LOG(Error) << "text store flush on destruction failed: "
+                   << status.ToString();
+  }
+}
+
+Result<uint64_t> TextStore::Append(std::string_view data) {
+  const uint64_t offset = size_bytes_;
+  uint64_t pos = offset;
+  size_t written = 0;
+  while (written < data.size()) {
+    const PageNumber page_no = static_cast<PageNumber>(pos / kPageSize);
+    const size_t page_offset = static_cast<size_t>(pos % kPageSize);
+    const size_t chunk =
+        std::min(data.size() - written, kPageSize - page_offset);
+    TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), page_no));
+    std::memcpy(page.MutableData() + page_offset, data.data() + written,
+                chunk);
+    written += chunk;
+    pos += chunk;
+  }
+  size_bytes_ += data.size();
+  return offset;
+}
+
+Result<std::string> TextStore::Read(uint64_t offset, uint32_t length) {
+  if (offset + length > size_bytes_) {
+    return Status::OutOfRange("text store read past end");
+  }
+  ++blob_reads_;
+  std::string out;
+  out.resize(length);
+  uint64_t pos = offset;
+  size_t read = 0;
+  while (read < length) {
+    const PageNumber page_no = static_cast<PageNumber>(pos / kPageSize);
+    const size_t page_offset = static_cast<size_t>(pos % kPageSize);
+    const size_t chunk =
+        std::min(static_cast<size_t>(length) - read, kPageSize - page_offset);
+    TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), page_no));
+    std::memcpy(out.data() + read, page.data() + page_offset, chunk);
+    read += chunk;
+    pos += chunk;
+  }
+  return out;
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,48 @@
+#ifndef TIX_STORAGE_TEXT_STORE_H_
+#define TIX_STORAGE_TEXT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+/// \file
+/// Byte-addressed append-only heap for character data and attribute
+/// blobs, paged through the buffer pool. Blobs may span page boundaries.
+
+namespace tix::storage {
+
+class TextStore {
+ public:
+  TextStore(BufferPool* pool, std::unique_ptr<PagedFile> file,
+            uint64_t size_bytes = 0)
+      : pool_(pool), file_(std::move(file)), size_bytes_(size_bytes) {}
+  /// Flushes and drops this file's pages before the file handle dies.
+  ~TextStore();
+  TIX_DISALLOW_COPY_AND_ASSIGN(TextStore);
+
+  /// Appends `data` and returns the byte offset it was stored at.
+  Result<uint64_t> Append(std::string_view data);
+
+  /// Reads `length` bytes starting at `offset`.
+  Result<std::string> Read(uint64_t offset, uint32_t length);
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t blob_reads() const { return blob_reads_; }
+  void ResetCounters() { blob_reads_ = 0; }
+
+  PagedFile* file() { return file_.get(); }
+
+ private:
+  BufferPool* pool_;
+  std::unique_ptr<PagedFile> file_;
+  uint64_t size_bytes_;
+  uint64_t blob_reads_ = 0;
+};
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_TEXT_STORE_H_

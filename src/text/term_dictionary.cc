@@ -1,0 +1,54 @@
+#include "text/term_dictionary.h"
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace tix::text {
+
+TermId TermDictionary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+const std::string& TermDictionary::TermOf(TermId id) const {
+  TIX_CHECK_LT(id, terms_.size());
+  return terms_[id];
+}
+
+std::string TermDictionary::Serialize() const {
+  std::string out;
+  PutVarint64(&out, terms_.size());
+  for (const std::string& term : terms_) {
+    PutVarint64(&out, term.size());
+    out += term;
+  }
+  return out;
+}
+
+Result<TermDictionary> TermDictionary::Deserialize(std::string_view blob) {
+  TermDictionary dict;
+  TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
+  for (uint64_t i = 0; i < count; ++i) {
+    TIX_ASSIGN_OR_RETURN(const uint64_t len, GetVarint64(&blob));
+    if (blob.size() < len) {
+      return Status::Corruption("term dictionary blob truncated");
+    }
+    dict.Intern(blob.substr(0, len));
+    blob.remove_prefix(len);
+  }
+  if (!blob.empty()) {
+    return Status::Corruption("trailing bytes after term dictionary");
+  }
+  return dict;
+}
+
+}  // namespace tix::text

@@ -1,0 +1,56 @@
+#ifndef TIX_TEXT_TERM_DICTIONARY_H_
+#define TIX_TEXT_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+/// \file
+/// Interning dictionary mapping terms (and element tags) to dense integer
+/// ids. Both the inverted index and the node store speak ids, not
+/// strings.
+
+namespace tix::text {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Bidirectional string <-> dense id map. Ids are assigned in first-seen
+/// order starting from 0 and are stable for the dictionary's lifetime.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+  TIX_DISALLOW_COPY_AND_ASSIGN(TermDictionary);
+  TermDictionary(TermDictionary&&) noexcept = default;
+  TermDictionary& operator=(TermDictionary&&) noexcept = default;
+
+  /// Returns the existing id or assigns the next free one.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id or kInvalidTermId when the term is unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// Inverse mapping; id must be < size().
+  const std::string& TermOf(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Serializes to a compact blob (count + length-prefixed strings).
+  std::string Serialize() const;
+  /// Restores a dictionary produced by Serialize().
+  static Result<TermDictionary> Deserialize(std::string_view blob);
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace tix::text
+
+#endif  // TIX_TEXT_TERM_DICTIONARY_H_

@@ -1,0 +1,146 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace tix::text {
+
+namespace {
+
+const std::unordered_set<std::string_view>& StopwordSet() {
+  static const auto* const kStopwords = new std::unordered_set<
+      std::string_view>{
+      "a",     "about",   "above",  "after", "again",  "against", "all",
+      "am",    "an",      "and",    "any",   "are",    "as",      "at",
+      "be",    "because", "been",   "before", "being", "below",   "between",
+      "both",  "but",     "by",     "can",   "cannot", "could",   "did",
+      "do",    "does",    "doing",  "down",  "during", "each",    "few",
+      "for",   "from",    "further", "had",  "has",    "have",    "having",
+      "he",    "her",     "here",   "hers",  "him",    "his",     "how",
+      "i",     "if",      "in",     "into",  "is",     "it",      "its",
+      "just",  "me",      "more",   "most",  "my",     "no",      "nor",
+      "not",   "now",     "of",     "off",   "on",     "once",    "only",
+      "or",    "other",   "our",    "ours",  "out",    "over",    "own",
+      "same",  "she",     "should", "so",    "some",   "such",    "than",
+      "that",  "the",     "their",  "theirs", "them",  "then",    "there",
+      "these", "they",    "this",   "those", "through", "to",     "too",
+      "under", "until",   "up",     "very",  "was",    "we",      "were",
+      "what",  "when",    "where",  "which", "while",  "who",     "whom",
+      "why",   "with",    "would",  "you",   "your",   "yours",
+  };
+  return *kStopwords;
+}
+
+bool EndsWithSv(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view s) {
+  for (char c : s) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(word) > 0;
+}
+
+std::string StemWord(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 3) return w;
+
+  // Plural reduction.
+  if (EndsWithSv(w, "sses")) {
+    w.resize(w.size() - 2);  // classes -> class
+  } else if (EndsWithSv(w, "ies") && w.size() > 4) {
+    w.resize(w.size() - 3);  // queries -> quer(y)
+    w.push_back('y');
+  } else if (EndsWithSv(w, "ss")) {
+    // keep: class
+  } else if (EndsWithSv(w, "s") && !EndsWithSv(w, "us") &&
+             !EndsWithSv(w, "is")) {
+    w.resize(w.size() - 1);  // engines -> engine
+  }
+
+  // -ed / -ing, only when a vowel remains in the stem.
+  if (EndsWithSv(w, "ing") && w.size() > 5 &&
+      HasVowel(std::string_view(w).substr(0, w.size() - 3))) {
+    w.resize(w.size() - 3);  // caching -> cach
+    if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+        !IsVowel(w.back())) {
+      w.resize(w.size() - 1);  // running -> run
+    }
+  } else if (EndsWithSv(w, "ed") && w.size() > 4 &&
+             HasVowel(std::string_view(w).substr(0, w.size() - 2))) {
+    w.resize(w.size() - 2);  // indexed -> index
+    if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+        !IsVowel(w.back())) {
+      w.resize(w.size() - 1);
+    }
+  }
+
+  if (EndsWithSv(w, "ly") && w.size() > 4) {
+    w.resize(w.size() - 2);  // quickly -> quick
+  }
+  return w;
+}
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<Token> out;
+  uint32_t position = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           !std::isalnum(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < text.size() &&
+           std::isalnum(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i == start) break;
+    std::string term(text.substr(start, i - start));
+    if (options_.lowercase) {
+      for (char& c : term) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    const uint32_t this_position = position++;
+    if (options_.remove_stopwords && IsStopword(term)) continue;
+    if (options_.stem) term = StemWord(term);
+    if (term.size() < options_.min_token_length) continue;
+    out.push_back(Token{std::move(term), this_position});
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::TokenizeToTerms(
+    std::string_view text) const {
+  std::vector<Token> tokens = Tokenize(text);
+  std::vector<std::string> terms;
+  terms.reserve(tokens.size());
+  for (Token& token : tokens) terms.push_back(std::move(token.term));
+  return terms;
+}
+
+std::string Tokenizer::Normalize(std::string_view term) const {
+  std::string out(term);
+  if (options_.lowercase) {
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (options_.stem) out = StemWord(out);
+  return out;
+}
+
+}  // namespace tix::text

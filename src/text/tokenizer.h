@@ -1,0 +1,61 @@
+#ifndef TIX_TEXT_TOKENIZER_H_
+#define TIX_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Term extraction: the pipeline every piece of character data goes
+/// through before indexing or matching — lower-case, split on
+/// non-alphanumerics, optional stopword removal and stemming. Queries use
+/// the *same* pipeline so query terms and indexed terms line up.
+
+namespace tix::text {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = false;
+  bool stem = false;
+  /// Tokens shorter than this are dropped (after stemming).
+  size_t min_token_length = 1;
+};
+
+/// A token plus its 0-based word position within the tokenized string.
+struct Token {
+  std::string term;
+  uint32_t position;
+};
+
+/// True for the ~120 most common English function words.
+bool IsStopword(std::string_view word);
+
+/// Suffix-stripping stemmer (Porter step-1-style: plurals, -ed, -ing,
+/// -ly). Deterministic and cheap; adequate for matching experiments.
+std::string StemWord(std::string_view word);
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Splits `text` into terms. Positions count *all* emitted tokens;
+  /// stopword removal leaves holes in the position sequence so phrase
+  /// offsets stay truthful.
+  std::vector<Token> Tokenize(std::string_view text) const;
+
+  /// Tokenizes and returns just the terms (positions discarded).
+  std::vector<std::string> TokenizeToTerms(std::string_view text) const;
+
+  /// Applies the same normalization (lowercase/stem) to a single query
+  /// term without splitting.
+  std::string Normalize(std::string_view term) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace tix::text
+
+#endif  // TIX_TEXT_TOKENIZER_H_

@@ -1,0 +1,301 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "xml/dom.h"
+
+namespace tix::workload {
+
+namespace {
+
+/// Skeleton of one article, drawn in pass 1 and replayed in pass 2.
+struct SectionSkeleton {
+  uint32_t title_words = 0;
+  std::vector<uint32_t> paragraph_words;
+};
+
+struct ArticleSkeleton {
+  uint32_t title_words = 0;
+  uint32_t num_authors = 1;
+  std::vector<SectionSkeleton> sections;
+};
+
+uint32_t DrawBetween(Random* rng, uint32_t lo, uint32_t hi) {
+  if (hi <= lo) return lo;
+  return lo + rng->NextUint32(hi - lo + 1);
+}
+
+class VocabTable {
+ public:
+  explicit VocabTable(uint64_t size) {
+    words_.reserve(size);
+    for (uint64_t i = 0; i < size; ++i) words_.push_back(VocabWord(i));
+  }
+  const std::string& word(uint64_t rank) const { return words_[rank]; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace
+
+std::string VocabWord(uint64_t rank) {
+  return StrFormat("w%05llu", static_cast<unsigned long long>(rank));
+}
+
+const std::vector<std::string>& SurnamePool() {
+  static const auto* const kPool = new std::vector<std::string>{
+      "doe",    "smith",  "chen",  "garcia", "patel",  "kim",   "mueller",
+      "rossi",  "tanaka", "lopez", "novak",  "haddad", "okafor", "silva",
+      "ivanov", "dubois", "larsen", "costa",  "nagy",   "moreau",
+  };
+  return *kPool;
+}
+
+Result<GeneratedCorpus> GenerateCorpus(storage::Database* db,
+                                       const CorpusOptions& options) {
+  if (options.num_articles == 0) {
+    return Status::InvalidArgument("corpus needs at least one article");
+  }
+
+  // ---- Pass 1: draw skeletons and enumerate text slots. ----------------
+  Random structure_rng(options.seed);
+  std::vector<ArticleSkeleton> skeletons;
+  skeletons.reserve(options.num_articles);
+  // Start slot of every slot-bearing text node, in generation order.
+  std::vector<uint64_t> node_starts;
+  uint64_t total_slots = 0;
+
+  auto add_text_node = [&](uint32_t words) {
+    node_starts.push_back(total_slots);
+    total_slots += words;
+  };
+
+  for (uint64_t a = 0; a < options.num_articles; ++a) {
+    ArticleSkeleton article;
+    article.title_words =
+        DrawBetween(&structure_rng, options.min_title_words,
+                    options.max_title_words);
+    add_text_node(article.title_words);
+    article.num_authors = DrawBetween(&structure_rng, 1, 3);
+    const uint32_t sections = DrawBetween(&structure_rng, options.min_sections,
+                                          options.max_sections);
+    for (uint32_t s = 0; s < sections; ++s) {
+      SectionSkeleton section;
+      section.title_words = DrawBetween(&structure_rng, 2, 5);
+      add_text_node(section.title_words);
+      const uint32_t paragraphs = DrawBetween(
+          &structure_rng, options.min_paragraphs, options.max_paragraphs);
+      for (uint32_t p = 0; p < paragraphs; ++p) {
+        const uint32_t words =
+            DrawBetween(&structure_rng, options.min_words_per_paragraph,
+                        options.max_words_per_paragraph);
+        section.paragraph_words.push_back(words);
+        add_text_node(words);
+      }
+      article.sections.push_back(std::move(section));
+    }
+    skeletons.push_back(std::move(article));
+  }
+  node_starts.push_back(total_slots);  // sentinel
+
+  // ---- Plant terms and phrases at exact frequencies. --------------------
+  uint64_t requested = 0;
+  for (const PlantedTerm& term : options.planted_terms) {
+    requested += term.frequency;
+  }
+  for (const PlantedPhrase& phrase : options.planted_phrases) {
+    requested += phrase.freq1 + phrase.freq2;
+  }
+  if (requested * 2 > total_slots) {
+    return Status::InvalidArgument(StrFormat(
+        "planted occurrences (%llu) exceed half the corpus slots (%llu); "
+        "increase num_articles",
+        static_cast<unsigned long long>(requested),
+        static_cast<unsigned long long>(total_slots)));
+  }
+
+  Random plant_rng(options.seed + 0x9E37);
+  std::unordered_set<uint64_t> taken;
+  std::unordered_map<uint64_t, std::string> plant_map;
+
+  auto claim_free_slot = [&]() -> uint64_t {
+    for (;;) {
+      const uint64_t slot = plant_rng.NextUint64(total_slots);
+      if (taken.insert(slot).second) return slot;
+    }
+  };
+  auto claim_adjacent_pair = [&]() -> std::pair<uint64_t, uint64_t> {
+    for (;;) {
+      const uint64_t slot = plant_rng.NextUint64(total_slots - 1);
+      // Both slots must lie in the same text node.
+      auto it = std::upper_bound(node_starts.begin(), node_starts.end(), slot);
+      const uint64_t node_end = *it;  // start of the next node
+      if (slot + 1 >= node_end) continue;
+      if (taken.count(slot) > 0 || taken.count(slot + 1) > 0) continue;
+      taken.insert(slot);
+      taken.insert(slot + 1);
+      return {slot, slot + 1};
+    }
+  };
+
+  for (const PlantedTerm& term : options.planted_terms) {
+    for (uint64_t i = 0; i < term.frequency; ++i) {
+      plant_map[claim_free_slot()] = term.term;
+    }
+  }
+  for (const PlantedPhrase& phrase : options.planted_phrases) {
+    if (phrase.co_occurrences > phrase.freq1 ||
+        phrase.co_occurrences > phrase.freq2) {
+      return Status::InvalidArgument(
+          "phrase co-occurrences exceed a term frequency");
+    }
+    for (uint64_t i = 0; i < phrase.co_occurrences; ++i) {
+      const auto [first, second] = claim_adjacent_pair();
+      plant_map[first] = phrase.term1;
+      plant_map[second] = phrase.term2;
+    }
+    // Stand-alone occurrences must not create accidental adjacencies
+    // (a term1 immediately before a term2 in the same text node), or the
+    // planted co-occurrence count would drift.
+    auto same_text_node = [&](uint64_t first_slot) {
+      auto boundary =
+          std::upper_bound(node_starts.begin(), node_starts.end(), first_slot);
+      return first_slot + 1 < *boundary;
+    };
+    auto planted_as = [&](uint64_t slot, const std::string& term) {
+      auto it = plant_map.find(slot);
+      return it != plant_map.end() && it->second == term;
+    };
+    for (uint64_t i = phrase.co_occurrences; i < phrase.freq1; ++i) {
+      for (;;) {
+        const uint64_t slot = claim_free_slot();
+        const bool makes_pair =
+            planted_as(slot + 1, phrase.term2) && same_text_node(slot);
+        if (!makes_pair) {
+          plant_map[slot] = phrase.term1;
+          break;
+        }
+        // Leave the slot claimed-but-unplanted (it stays a background
+        // word) and draw again.
+      }
+    }
+    for (uint64_t i = phrase.co_occurrences; i < phrase.freq2; ++i) {
+      for (;;) {
+        const uint64_t slot = claim_free_slot();
+        const bool makes_pair = slot > 0 &&
+                                planted_as(slot - 1, phrase.term1) &&
+                                same_text_node(slot - 1);
+        if (!makes_pair) {
+          plant_map[slot] = phrase.term2;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Pass 2: materialize documents. -----------------------------------
+  const VocabTable vocab(options.vocabulary_size);
+  ZipfGenerator zipf(options.vocabulary_size, options.zipf_theta,
+                     options.seed + 0xC0FFEE);
+  Random name_rng(options.seed + 7);
+
+  GeneratedCorpus out;
+  uint64_t slot = 0;
+
+  auto make_text = [&](uint32_t words) {
+    std::string text;
+    for (uint32_t w = 0; w < words; ++w) {
+      if (w > 0) text.push_back(' ');
+      auto it = plant_map.find(slot);
+      if (it != plant_map.end()) {
+        text += it->second;
+      } else {
+        text += vocab.word(zipf.Next());
+      }
+      ++slot;
+    }
+    return text;
+  };
+
+  std::vector<std::string> article_titles;
+  article_titles.reserve(options.num_articles);
+
+  for (uint64_t a = 0; a < skeletons.size(); ++a) {
+    const ArticleSkeleton& skeleton = skeletons[a];
+    auto root = xml::XmlNode::MakeElement("article");
+    xml::XmlNode* front = root->AddElement("fm");
+    std::string title = make_text(skeleton.title_words);
+    article_titles.push_back(title);
+    front->AddElement("atl")->AddText(std::move(title));
+    const std::vector<std::string>& surnames = SurnamePool();
+    for (uint32_t i = 0; i < skeleton.num_authors; ++i) {
+      xml::XmlNode* author = front->AddElement("au");
+      author->AddAttribute("id", StrFormat("a%u", i));
+      author->AddElement("fnm")->AddText(
+          StrFormat("name%u", name_rng.NextUint32(1000)));
+      author->AddElement("snm")->AddText(
+          surnames[name_rng.NextUint32(
+              static_cast<uint32_t>(surnames.size()))]);
+    }
+    xml::XmlNode* body = root->AddElement("bdy");
+    for (const SectionSkeleton& section_skeleton : skeleton.sections) {
+      xml::XmlNode* section = body->AddElement("sec");
+      section->AddElement("st")->AddText(
+          make_text(section_skeleton.title_words));
+      for (uint32_t words : section_skeleton.paragraph_words) {
+        section->AddElement("p")->AddText(make_text(words));
+      }
+    }
+    xml::XmlDocument document(
+        StrFormat("article%llu.xml", static_cast<unsigned long long>(a)),
+        std::move(root));
+    out.num_elements += document.NodeCount();
+    TIX_ASSIGN_OR_RETURN(const storage::DocId doc_id,
+                         db->AddDocument(document));
+    out.article_docs.push_back(doc_id);
+  }
+  TIX_CHECK_EQ(slot, total_slots);
+
+  if (options.generate_reviews) {
+    auto root = xml::XmlNode::MakeElement("reviews");
+    for (uint64_t r = 0; r < options.num_reviews; ++r) {
+      xml::XmlNode* review = root->AddElement("review");
+      review->AddAttribute(
+          "id", StrFormat("%llu", static_cast<unsigned long long>(r + 1)));
+      // Titles overlap article titles so similarity joins have matches.
+      const std::string& base =
+          article_titles[name_rng.NextUint64(article_titles.size())];
+      review->AddElement("title")->AddText(base);
+      xml::XmlNode* reviewer = review->AddElement("reviewer");
+      reviewer->AddElement("fnm")->AddText(
+          StrFormat("rev%u", name_rng.NextUint32(1000)));
+      reviewer->AddElement("snm")->AddText(
+          SurnamePool()[name_rng.NextUint32(
+              static_cast<uint32_t>(SurnamePool().size()))]);
+      std::string comments;
+      const uint32_t comment_words = DrawBetween(&name_rng, 10, 40);
+      for (uint32_t w = 0; w < comment_words; ++w) {
+        if (w > 0) comments.push_back(' ');
+        comments += vocab.word(zipf.Next());
+      }
+      review->AddElement("comments")->AddText(std::move(comments));
+      review->AddElement("rating")->AddText(
+          StrFormat("%u", 1 + name_rng.NextUint32(5)));
+    }
+    xml::XmlDocument document("reviews.xml", std::move(root));
+    out.num_elements += document.NodeCount();
+    TIX_ASSIGN_OR_RETURN(out.reviews_doc, db->AddDocument(document));
+  }
+
+  out.num_articles = options.num_articles;
+  out.num_words = total_slots;
+  return out;
+}
+
+}  // namespace tix::workload

@@ -1,0 +1,84 @@
+#ifndef TIX_WORKLOAD_CORPUS_H_
+#define TIX_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+/// \file
+/// Synthetic INEX-like corpus generator. The paper evaluates on the INEX
+/// collection (IEEE articles, 18M elements); this generator produces the
+/// same *shape*: article/front-matter/body/section/paragraph structure,
+/// Zipf-distributed background vocabulary, and — crucially for the
+/// experiments — *planted* terms and phrases at exact corpus-wide
+/// frequencies, so benchmarks can sweep term frequency precisely as the
+/// paper does (20 … 10,000).
+
+namespace tix::workload {
+
+/// A term planted at an exact total frequency, uniformly at random over
+/// all word slots of the corpus.
+struct PlantedTerm {
+  std::string term;
+  uint64_t frequency = 0;
+};
+
+/// A two-term phrase planted with exact per-term frequencies and an
+/// exact number of adjacent co-occurrences ("term1 term2" in order in
+/// one text node) — drives Table 5.
+struct PlantedPhrase {
+  std::string term1;
+  std::string term2;
+  uint64_t freq1 = 0;
+  uint64_t freq2 = 0;
+  uint64_t co_occurrences = 0;
+};
+
+struct CorpusOptions {
+  uint64_t num_articles = 500;
+  uint64_t seed = 42;
+
+  // Structure ranges (uniform draws, inclusive).
+  uint32_t min_sections = 2, max_sections = 6;
+  uint32_t min_paragraphs = 2, max_paragraphs = 8;
+  uint32_t min_words_per_paragraph = 20, max_words_per_paragraph = 80;
+  uint32_t min_title_words = 3, max_title_words = 8;
+
+  // Background vocabulary.
+  uint64_t vocabulary_size = 20000;
+  double zipf_theta = 1.0;
+
+  std::vector<PlantedTerm> planted_terms;
+  std::vector<PlantedPhrase> planted_phrases;
+
+  /// Also generate a reviews.xml-style document whose titles overlap
+  /// article titles (for similarity-join workloads, Query 3).
+  bool generate_reviews = false;
+  uint64_t num_reviews = 100;
+};
+
+struct GeneratedCorpus {
+  uint64_t num_articles = 0;
+  uint64_t num_elements = 0;
+  uint64_t num_words = 0;
+  std::vector<storage::DocId> article_docs;
+  storage::DocId reviews_doc = UINT32_MAX;
+};
+
+/// Generates the corpus directly into `db` (one document per article).
+/// Deterministic for a given options value.
+Result<GeneratedCorpus> GenerateCorpus(storage::Database* db,
+                                       const CorpusOptions& options);
+
+/// The i-th background vocabulary word ("w00042"-style).
+std::string VocabWord(uint64_t rank);
+
+/// Surname pool used for author elements (pool[0] == "doe").
+const std::vector<std::string>& SurnamePool();
+
+}  // namespace tix::workload
+
+#endif  // TIX_WORKLOAD_CORPUS_H_

@@ -1,0 +1,76 @@
+#include "workload/paper_example.h"
+
+#include "xml/parser.h"
+
+namespace tix::workload {
+
+const std::string& PaperArticlesXml() {
+  static const std::string* const kXml = new std::string(R"(<article>
+  <article-title>Internet Technologies</article-title>
+  <author id="first">
+    <fname>Jane</fname>
+    <sname>Doe</sname>
+  </author>
+  <chapter>
+    <ct>Caching and Replication</ct>
+    <p>caching proxies replicate popular web objects near clients</p>
+  </chapter>
+  <chapter>
+    <ct>Streaming Video</ct>
+    <p>video streams are delivered over lossy networks</p>
+  </chapter>
+  <chapter>
+    <ct>Search and Retrieval</ct>
+    <section>
+      <section-title>Search Engine Basics</section-title>
+      <p>crawlers build the corpus a search service answers from</p>
+    </section>
+    <section>
+      <section-title>Information Retrieval Techniques</section-title>
+      <p>ranking models order documents by estimated usefulness</p>
+    </section>
+    <section>
+      <section-title>Examples</section-title>
+      <p>here are some IR based search engines for the internet</p>
+      <p>search engine NewsInEssence uses a new information retrieval technology on internet news</p>
+      <p>semantic information retrieval techniques are also being incorporated into some search engines</p>
+    </section>
+  </chapter>
+</article>
+)");
+  return *kXml;
+}
+
+const std::string& PaperReviewsXml() {
+  static const std::string* const kXml = new std::string(R"(<reviews>
+  <review id="1">
+    <title>Internet Technologies</title>
+    <reviewer>
+      <fname>John</fname>
+      <sname>Doe</sname>
+    </reviewer>
+    <comments>a thorough survey of internet technologies</comments>
+    <rating>5</rating>
+  </review>
+  <review id="2">
+    <title>WWW Technologies</title>
+    <reviewer>Anonymous</reviewer>
+    <comments>covers the world wide web broadly</comments>
+    <rating>3</rating>
+  </review>
+</reviews>
+)");
+  return *kXml;
+}
+
+Status LoadPaperExample(storage::Database* db) {
+  TIX_ASSIGN_OR_RETURN(const xml::XmlDocument articles,
+                       xml::ParseXml(PaperArticlesXml(), "articles.xml"));
+  TIX_RETURN_IF_ERROR(db->AddDocument(articles).status());
+  TIX_ASSIGN_OR_RETURN(const xml::XmlDocument reviews,
+                       xml::ParseXml(PaperReviewsXml(), "reviews.xml"));
+  TIX_RETURN_IF_ERROR(db->AddDocument(reviews).status());
+  return Status::OK();
+}
+
+}  // namespace tix::workload

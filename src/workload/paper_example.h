@@ -1,0 +1,30 @@
+#ifndef TIX_WORKLOAD_PAPER_EXAMPLE_H_
+#define TIX_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+/// \file
+/// The running example of the paper (Figure 1): articles.xml — one
+/// article on "Internet Technologies" whose third chapter is about
+/// search and retrieval — and reviews.xml with two reviews. Used by unit
+/// tests and the quickstart example; queries 1–3 of Figure 2 can be
+/// evaluated against it and checked against the paper's Figures 5–8.
+
+namespace tix::workload {
+
+/// XML source of Figure 1's articles.xml (whitespace-normalized).
+const std::string& PaperArticlesXml();
+
+/// XML source of Figure 1's reviews.xml, wrapped in a single
+/// <reviews> root (XML requires one root element).
+const std::string& PaperReviewsXml();
+
+/// Parses and loads both documents into `db` (articles first, doc 0).
+Status LoadPaperExample(storage::Database* db);
+
+}  // namespace tix::workload
+
+#endif  // TIX_WORKLOAD_PAPER_EXAMPLE_H_

@@ -1,0 +1,70 @@
+#include "xml/dom.h"
+
+namespace tix::xml {
+
+std::unique_ptr<XmlNode> XmlNode::MakeElement(std::string tag) {
+  return std::unique_ptr<XmlNode>(
+      new XmlNode(Type::kElement, std::move(tag)));
+}
+
+std::unique_ptr<XmlNode> XmlNode::MakeText(std::string text) {
+  return std::unique_ptr<XmlNode>(new XmlNode(Type::kText, std::move(text)));
+}
+
+const std::string* XmlNode::FindAttribute(std::string_view name) const {
+  for (const XmlAttribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+void XmlNode::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back(XmlAttribute{std::move(name), std::move(value)});
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElement(std::string tag) {
+  return AddChild(MakeElement(std::move(tag)));
+}
+
+XmlNode* XmlNode::AddText(std::string text) {
+  return AddChild(MakeText(std::move(text)));
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+namespace {
+void AppendAllText(const XmlNode& node, std::string* out) {
+  if (node.is_text()) {
+    if (!out->empty()) out->push_back(' ');
+    *out += node.text();
+    return;
+  }
+  for (const auto& child : node.children()) AppendAllText(*child, out);
+}
+}  // namespace
+
+std::string XmlNode::AllText() const {
+  std::string out;
+  AppendAllText(*this, &out);
+  return out;
+}
+
+const XmlNode* XmlNode::FindFirst(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->tag() == tag) return child.get();
+    if (const XmlNode* found = child->FindFirst(tag)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace tix::xml

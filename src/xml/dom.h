@@ -1,0 +1,116 @@
+#ifndef TIX_XML_DOM_H_
+#define TIX_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// A small in-memory XML document object model: ordered labeled trees with
+/// element and text nodes, exactly the data model TIX queries operate on
+/// (Sec. 3 of the paper). The DOM is the *ingest* representation; loaded
+/// documents live in the paged node store (`storage/`).
+
+namespace tix::xml {
+
+/// One name="value" pair on an element.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// A node in the ordered labeled tree. Elements carry a tag and
+/// attributes; text nodes carry character data. Children are owned.
+class XmlNode {
+ public:
+  enum class Type { kElement, kText };
+
+  /// Creates an element node with the given tag.
+  static std::unique_ptr<XmlNode> MakeElement(std::string tag);
+  /// Creates a text node with the given character data.
+  static std::unique_ptr<XmlNode> MakeText(std::string text);
+
+  TIX_DISALLOW_COPY_AND_ASSIGN(XmlNode);
+
+  Type type() const { return type_; }
+  bool is_element() const { return type_ == Type::kElement; }
+  bool is_text() const { return type_ == Type::kText; }
+
+  /// Tag name; only meaningful for elements.
+  const std::string& tag() const { return value_; }
+  /// Character data; only meaningful for text nodes.
+  const std::string& text() const { return value_; }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  /// Returns the attribute value or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+  void AddAttribute(std::string name, std::string value);
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  XmlNode* parent() const { return parent_; }
+
+  /// Appends a child (takes ownership) and returns a raw pointer to it.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child);
+
+  /// Convenience: appends `<tag>` as a child element.
+  XmlNode* AddElement(std::string tag);
+  /// Convenience: appends character data as a child text node.
+  XmlNode* AddText(std::string text);
+
+  /// Number of nodes in the subtree rooted here (including this node).
+  size_t SubtreeSize() const;
+
+  /// Concatenated text of all descendant text nodes, in document order,
+  /// separated by single spaces — the paper's `alltext()`.
+  std::string AllText() const;
+
+  /// Depth-first search for the first descendant element with `tag`
+  /// (excluding this node); nullptr when absent.
+  const XmlNode* FindFirst(std::string_view tag) const;
+
+ private:
+  XmlNode(Type type, std::string value)
+      : type_(type), value_(std::move(value)) {}
+
+  Type type_;
+  // Tag for elements, character data for text nodes.
+  std::string value_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  XmlNode* parent_ = nullptr;
+};
+
+/// A parsed XML document: a name plus a single root element.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  XmlDocument(std::string name, std::unique_ptr<XmlNode> root)
+      : name_(std::move(name)), root_(std::move(root)) {}
+
+  XmlDocument(XmlDocument&&) noexcept = default;
+  XmlDocument& operator=(XmlDocument&&) noexcept = default;
+  TIX_DISALLOW_COPY_AND_ASSIGN(XmlDocument);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const XmlNode* root() const { return root_.get(); }
+  XmlNode* mutable_root() { return root_.get(); }
+  void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
+
+  /// Total node count (elements + text nodes); 0 for an empty document.
+  size_t NodeCount() const { return root_ ? root_->SubtreeSize() : 0; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<XmlNode> root_;
+};
+
+}  // namespace tix::xml
+
+#endif  // TIX_XML_DOM_H_

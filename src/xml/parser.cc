@@ -1,0 +1,382 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tix::xml {
+
+namespace {
+
+/// Cursor over the input that tracks line/column for error reporting.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    const size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  size_t Remaining() const { return input_.size() - pos_; }
+
+  char Advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumeIf(std::string_view token) {
+    if (Remaining() >= token.size() &&
+        input_.substr(pos_, token.size()) == token) {
+      AdvanceBy(token.size());
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Advances until `token` has been consumed; false when input ends first.
+  bool SkipPast(std::string_view token) {
+    while (!AtEnd()) {
+      if (ConsumeIf(token)) return true;
+      Advance();
+    }
+    return false;
+  }
+
+  std::string_view Slice(size_t begin, size_t end) const {
+    return input_.substr(begin, end - begin);
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, std::string name, const ParseOptions& options)
+      : cursor_(input), name_(std::move(name)), options_(options) {}
+
+  Result<XmlDocument> Parse() {
+    TIX_RETURN_IF_ERROR(SkipProlog());
+    if (cursor_.AtEnd() || cursor_.Peek() != '<') {
+      return Error("expected root element");
+    }
+    TIX_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElementTree());
+    // Trailing misc: whitespace, comments, PIs.
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) break;
+      if (cursor_.ConsumeIf("<!--")) {
+        if (!cursor_.SkipPast("-->")) return Error("unterminated comment");
+      } else if (cursor_.ConsumeIf("<?")) {
+        if (!cursor_.SkipPast("?>")) {
+          return Error("unterminated processing instruction");
+        }
+      } else {
+        return Error("content after root element");
+      }
+    }
+    return XmlDocument(std::move(name_), std::move(root));
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrFormat("%s:%d:%d: %s", name_.c_str(),
+                                        cursor_.line(), cursor_.column(),
+                                        message.c_str()));
+  }
+
+  Status SkipProlog() {
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.ConsumeIf("<?")) {
+        if (!cursor_.SkipPast("?>")) {
+          return Error("unterminated XML declaration");
+        }
+      } else if (cursor_.ConsumeIf("<!--")) {
+        if (!cursor_.SkipPast("-->")) return Error("unterminated comment");
+      } else if (cursor_.ConsumeIf("<!DOCTYPE")) {
+        TIX_RETURN_IF_ERROR(SkipDoctype());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  // The "<!DOCTYPE" token has already been consumed. Skips to the matching
+  // '>' while honoring an optional bracketed internal subset.
+  Status SkipDoctype() {
+    int bracket_depth = 0;
+    while (!cursor_.AtEnd()) {
+      const char c = cursor_.Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return Status::OK();
+      }
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Result<std::string> ParseName() {
+    if (cursor_.AtEnd() || !IsNameStartChar(cursor_.Peek())) {
+      return Error("expected name");
+    }
+    std::string out;
+    while (!cursor_.AtEnd() && IsNameChar(cursor_.Peek())) {
+      out.push_back(cursor_.Advance());
+    }
+    return out;
+  }
+
+  /// Decodes &amp; &lt; &gt; &quot; &apos; &#NNN; &#xHHH;. The leading
+  /// '&' has been consumed.
+  Result<std::string> ParseEntity() {
+    std::string entity;
+    while (!cursor_.AtEnd() && cursor_.Peek() != ';' &&
+           entity.size() <= 10) {
+      entity.push_back(cursor_.Advance());
+    }
+    if (cursor_.AtEnd() || cursor_.Peek() != ';') {
+      return Error("unterminated entity reference '&" + entity + "'");
+    }
+    cursor_.Advance();  // ';'
+    if (entity == "amp") return std::string("&");
+    if (entity == "lt") return std::string("<");
+    if (entity == "gt") return std::string(">");
+    if (entity == "quot") return std::string("\"");
+    if (entity == "apos") return std::string("'");
+    if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      char* endp = nullptr;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(entity.c_str() + 2, &endp, 16);
+      } else if (entity.size() > 1) {
+        code = std::strtol(entity.c_str() + 1, &endp, 10);
+      }
+      if (endp == nullptr || *endp != '\0' || code <= 0 || code > 0x10FFFF) {
+        return Error("bad character reference '&" + entity + ";'");
+      }
+      // UTF-8 encode.
+      std::string out;
+      const unsigned long cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+      return out;
+    }
+    return Error("unknown entity '&" + entity + ";'");
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (cursor_.AtEnd() || (cursor_.Peek() != '"' && cursor_.Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = cursor_.Advance();
+    std::string out;
+    while (!cursor_.AtEnd() && cursor_.Peek() != quote) {
+      if (cursor_.Peek() == '&') {
+        cursor_.Advance();
+        TIX_ASSIGN_OR_RETURN(const std::string decoded, ParseEntity());
+        out += decoded;
+      } else if (cursor_.Peek() == '<') {
+        return Error("'<' not allowed in attribute value");
+      } else {
+        out.push_back(cursor_.Advance());
+      }
+    }
+    if (cursor_.AtEnd()) return Error("unterminated attribute value");
+    cursor_.Advance();  // closing quote
+    return out;
+  }
+
+  /// Parses "<tag attr=... >" after '<' has been *seen* (not consumed).
+  /// Returns the element; `*self_closing` reports "/>".
+  Result<std::unique_ptr<XmlNode>> ParseOpenTag(bool* self_closing) {
+    cursor_.Advance();  // '<'
+    TIX_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    auto element = XmlNode::MakeElement(std::move(tag));
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) return Error("unterminated start tag");
+      if (cursor_.ConsumeIf("/>")) {
+        *self_closing = true;
+        return element;
+      }
+      if (cursor_.Peek() == '>') {
+        cursor_.Advance();
+        *self_closing = false;
+        return element;
+      }
+      TIX_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() || cursor_.Peek() != '=') {
+        return Error("expected '=' after attribute name '" + attr_name + "'");
+      }
+      cursor_.Advance();  // '='
+      cursor_.SkipWhitespace();
+      TIX_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
+      if (element->FindAttribute(attr_name) != nullptr) {
+        return Error("duplicate attribute '" + attr_name + "'");
+      }
+      element->AddAttribute(std::move(attr_name), std::move(attr_value));
+    }
+  }
+
+  /// Parses one element and its whole subtree iteratively (explicit stack,
+  /// so arbitrarily deep documents cannot overflow the call stack).
+  Result<std::unique_ptr<XmlNode>> ParseElementTree() {
+    bool self_closing = false;
+    TIX_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root,
+                         ParseOpenTag(&self_closing));
+    if (self_closing) return root;
+
+    std::vector<XmlNode*> stack;
+    stack.push_back(root.get());
+    std::string text_buffer;
+
+    auto flush_text = [&]() {
+      if (text_buffer.empty()) return;
+      const bool all_space =
+          Trim(text_buffer).empty();
+      if (!(all_space && options_.skip_whitespace_text)) {
+        stack.back()->AddText(text_buffer);
+      }
+      text_buffer.clear();
+    };
+
+    while (!stack.empty()) {
+      if (cursor_.AtEnd()) {
+        return Error("unexpected end of input inside <" +
+                     stack.back()->tag() + ">");
+      }
+      if (cursor_.Peek() != '<') {
+        if (cursor_.Peek() == '&') {
+          cursor_.Advance();
+          TIX_ASSIGN_OR_RETURN(const std::string decoded, ParseEntity());
+          text_buffer += decoded;
+        } else {
+          text_buffer.push_back(cursor_.Advance());
+        }
+        continue;
+      }
+      // '<' — dispatch on what follows.
+      if (cursor_.ConsumeIf("<!--")) {
+        if (!cursor_.SkipPast("-->")) return Error("unterminated comment");
+        continue;
+      }
+      if (cursor_.ConsumeIf("<![CDATA[")) {
+        const size_t begin = cursor_.pos();
+        if (!cursor_.SkipPast("]]>")) return Error("unterminated CDATA");
+        text_buffer += cursor_.Slice(begin, cursor_.pos() - 3);
+        continue;
+      }
+      if (cursor_.ConsumeIf("<?")) {
+        if (!cursor_.SkipPast("?>")) {
+          return Error("unterminated processing instruction");
+        }
+        continue;
+      }
+      if (cursor_.PeekAt(1) == '/') {
+        flush_text();
+        cursor_.AdvanceBy(2);  // "</"
+        TIX_ASSIGN_OR_RETURN(std::string tag, ParseName());
+        cursor_.SkipWhitespace();
+        if (cursor_.AtEnd() || cursor_.Peek() != '>') {
+          return Error("malformed end tag </" + tag + ">");
+        }
+        cursor_.Advance();  // '>'
+        if (tag != stack.back()->tag()) {
+          return Error("mismatched end tag: expected </" +
+                       stack.back()->tag() + ">, found </" + tag + ">");
+        }
+        stack.pop_back();
+        continue;
+      }
+      // A child start tag.
+      flush_text();
+      if (static_cast<int>(stack.size()) >= options_.max_depth) {
+        return Error("maximum nesting depth exceeded");
+      }
+      bool child_self_closing = false;
+      TIX_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child,
+                           ParseOpenTag(&child_self_closing));
+      XmlNode* child_ptr = stack.back()->AddChild(std::move(child));
+      if (!child_self_closing) stack.push_back(child_ptr);
+    }
+    return root;
+  }
+
+  Cursor cursor_;
+  std::string name_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input, std::string name,
+                             const ParseOptions& options) {
+  Parser parser(input, std::move(name), options);
+  return parser.Parse();
+}
+
+Result<XmlDocument> ParseXmlFile(const std::string& path,
+                                 const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseXml(buffer.str(), path, options);
+}
+
+}  // namespace tix::xml

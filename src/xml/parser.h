@@ -1,0 +1,42 @@
+#ifndef TIX_XML_PARSER_H_
+#define TIX_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+/// \file
+/// Non-validating XML parser producing the DOM of `xml/dom.h`. Supports
+/// elements, attributes, character data, entity references, numeric
+/// character references, CDATA sections, comments, processing
+/// instructions, and a skipped DOCTYPE. Namespaces are treated as plain
+/// prefixed names (the paper's data model has no namespace semantics).
+
+namespace tix::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that consist solely of whitespace (ignorable
+  /// whitespace between elements). Document-style corpora keep prose
+  /// intact either way because prose text is never whitespace-only.
+  bool skip_whitespace_text = true;
+
+  /// Maximum element nesting depth accepted before reporting an error
+  /// (defense against pathological input).
+  int max_depth = 10000;
+};
+
+/// Parses a complete XML document from `input`. `name` becomes the
+/// document name (usually the file name). Errors carry 1-based line and
+/// column of the offending position.
+Result<XmlDocument> ParseXml(std::string_view input, std::string name,
+                             const ParseOptions& options = ParseOptions());
+
+/// Reads and parses a file.
+Result<XmlDocument> ParseXmlFile(const std::string& path,
+                                 const ParseOptions& options = ParseOptions());
+
+}  // namespace tix::xml
+
+#endif  // TIX_XML_PARSER_H_

@@ -1,0 +1,102 @@
+#include "xml/serializer.h"
+
+namespace tix::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasTextChild(const XmlNode& node) {
+  for (const auto& child : node.children()) {
+    if (child->is_text()) return true;
+  }
+  return false;
+}
+
+void SerializeImpl(const XmlNode& node, const SerializeOptions& options,
+                   int depth, bool parent_inline, std::string* out) {
+  const bool pretty = options.pretty && !parent_inline;
+  auto indent = [&](int d) {
+    if (pretty) out->append(static_cast<size_t>(d) * options.indent_width,
+                            ' ');
+  };
+
+  if (node.is_text()) {
+    indent(depth);
+    *out += EscapeText(node.text());
+    if (pretty) out->push_back('\n');
+    return;
+  }
+
+  indent(depth);
+  out->push_back('<');
+  *out += node.tag();
+  for (const XmlAttribute& attr : node.attributes()) {
+    out->push_back(' ');
+    *out += attr.name;
+    *out += "=\"";
+    *out += EscapeText(attr.value);
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  // Mixed content (any text child) is emitted inline so the character
+  // data round-trips byte-for-byte.
+  const bool emit_inline = HasTextChild(node) || !options.pretty;
+  if (pretty && !emit_inline) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    SerializeImpl(*child, options, emit_inline ? 0 : depth + 1,
+                  emit_inline || parent_inline, out);
+  }
+  if (!emit_inline) indent(depth);
+  *out += "</";
+  *out += node.tag();
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string SerializeNode(const XmlNode& node,
+                          const SerializeOptions& options) {
+  std::string out;
+  SerializeImpl(node, options, 0, false, &out);
+  return out;
+}
+
+std::string SerializeDocument(const XmlDocument& document,
+                              const SerializeOptions& options) {
+  if (document.root() == nullptr) return "";
+  return SerializeNode(*document.root(), options);
+}
+
+}  // namespace tix::xml

@@ -1,0 +1,36 @@
+#ifndef TIX_XML_SERIALIZER_H_
+#define TIX_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.h"
+
+/// \file
+/// DOM-to-text serialization, the inverse of `xml/parser.h`. Round-trip
+/// (parse ∘ serialize) is identity on the DOM modulo ignorable
+/// whitespace; the property tests rely on this.
+
+namespace tix::xml {
+
+struct SerializeOptions {
+  /// Indent nested elements; text nodes inhibit pretty printing inside
+  /// their parent so character data is never altered.
+  bool pretty = false;
+  int indent_width = 2;
+};
+
+/// Escapes &, <, >, " and ' for use in character data / attribute values.
+std::string EscapeText(std::string_view text);
+
+/// Serializes the subtree rooted at `node`.
+std::string SerializeNode(const XmlNode& node,
+                          const SerializeOptions& options = {});
+
+/// Serializes the whole document (no XML declaration is emitted).
+std::string SerializeDocument(const XmlDocument& document,
+                              const SerializeOptions& options = {});
+
+}  // namespace tix::xml
+
+#endif  // TIX_XML_SERIALIZER_H_

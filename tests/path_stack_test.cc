@@ -1,0 +1,163 @@
+// PathStack holistic path join: unit tests on the paper example plus a
+// property test asserting agreement with the reference pattern matcher
+// on random corpora for ad/pc chains.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algebra/pattern_tree.h"
+#include "algebra/reference_eval.h"
+#include "exec/path_stack.h"
+#include "tests/test_util.h"
+#include "workload/corpus.h"
+#include "workload/paper_example.h"
+
+namespace tix::exec {
+namespace {
+
+using testing::ExpectOk;
+using testing::MakeTestDatabase;
+using testing::TempDir;
+using testing::Unwrap;
+
+std::multiset<PathMatch> AsSet(std::vector<PathMatch> matches) {
+  return std::multiset<PathMatch>(matches.begin(), matches.end());
+}
+
+/// Reference answer: evaluate the same chain with the naive matcher.
+std::multiset<PathMatch> ReferenceChain(storage::Database* db,
+                                        const std::vector<PathStep>& steps) {
+  algebra::ScoredPatternTree pattern;
+  algebra::PatternNode* current = nullptr;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    algebra::PatternNode* node;
+    if (current == nullptr) {
+      node = pattern.CreateRoot(static_cast<int>(i + 1));
+    } else {
+      node = current->AddChild(static_cast<int>(i + 1),
+                               steps[i].parent_child
+                                   ? algebra::Axis::kChild
+                                   : algebra::Axis::kDescendant);
+    }
+    if (!steps[i].tag.empty()) node->set_tag(steps[i].tag);
+    current = node;
+  }
+  const auto embeddings = Unwrap(algebra::MatchPattern(db, pattern));
+  std::multiset<PathMatch> out;
+  for (const auto& embedding : embeddings) {
+    PathMatch match;
+    for (const auto& [label, node] : embedding) match.push_back(node);
+    out.insert(std::move(match));
+  }
+  return out;
+}
+
+class PathStackPaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase(dir_.path());
+    ExpectOk(workload::LoadPaperExample(db_.get()));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(PathStackPaperTest, SingleStep) {
+  PathStackJoin join(db_.get(), {{"section", false}});
+  const auto matches = Unwrap(join.Run());
+  EXPECT_EQ(matches.size(), 3u);
+  for (const auto& match : matches) EXPECT_EQ(match.size(), 1u);
+}
+
+TEST_F(PathStackPaperTest, AdChain) {
+  // article // section // p : only the third chapter's sections have
+  // paragraphs (1 + 1 + 3 = 5 pairs, one article).
+  PathStackJoin join(db_.get(),
+                     {{"article", false}, {"section", false}, {"p", false}});
+  const auto matches = Unwrap(join.Run());
+  EXPECT_EQ(matches.size(), 5u);
+  EXPECT_EQ(AsSet(matches),
+            ReferenceChain(db_.get(), {{"article", false},
+                                       {"section", false},
+                                       {"p", false}}));
+  EXPECT_EQ(join.stats().solutions, 5u);
+}
+
+TEST_F(PathStackPaperTest, PcEdgeRestricts) {
+  // chapter / p : only the two chapter-level paragraphs are direct
+  // children; section paragraphs are not.
+  PathStackJoin pc(db_.get(), {{"chapter", false}, {"p", true}});
+  EXPECT_EQ(Unwrap(pc.Run()).size(), 2u);
+  PathStackJoin ad(db_.get(), {{"chapter", false}, {"p", false}});
+  EXPECT_EQ(Unwrap(ad.Run()).size(), 7u);  // all paragraphs in chapters
+}
+
+TEST_F(PathStackPaperTest, WildcardStep) {
+  // article // * // section-title : any intermediate element.
+  const std::vector<PathStep> steps = {
+      {"article", false}, {"", false}, {"section-title", false}};
+  PathStackJoin join(db_.get(), steps);
+  EXPECT_EQ(AsSet(Unwrap(join.Run())), ReferenceChain(db_.get(), steps));
+}
+
+TEST_F(PathStackPaperTest, NoMatches) {
+  PathStackJoin join(db_.get(), {{"review", false}, {"section", false}});
+  EXPECT_TRUE(Unwrap(join.Run()).empty());
+  PathStackJoin unknown(db_.get(), {{"nonexistent", false}});
+  EXPECT_TRUE(Unwrap(unknown.Run()).empty());
+}
+
+TEST_F(PathStackPaperTest, EmptyPatternRejected) {
+  PathStackJoin join(db_.get(), {});
+  EXPECT_TRUE(join.Run().status().IsInvalidArgument());
+}
+
+TEST_F(PathStackPaperTest, MatchesAreOrderedByLeaf) {
+  PathStackJoin join(db_.get(), {{"chapter", false}, {"p", false}});
+  const auto matches = Unwrap(join.Run());
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].back(), matches[i].back());
+  }
+}
+
+// Property test: agreement with the reference matcher on random corpora
+// for a variety of chain shapes.
+struct ChainCase {
+  uint64_t seed;
+  std::vector<PathStep> steps;
+};
+
+class PathStackPropertyTest : public ::testing::TestWithParam<ChainCase> {};
+
+TEST_P(PathStackPropertyTest, AgreesWithReferenceMatcher) {
+  const ChainCase& param = GetParam();
+  TempDir dir;
+  auto db = MakeTestDatabase(dir.path(), 256);
+  workload::CorpusOptions options;
+  options.seed = param.seed;
+  options.num_articles = 6;
+  Unwrap(workload::GenerateCorpus(db.get(), options));
+
+  PathStackJoin join(db.get(), param.steps);
+  EXPECT_EQ(AsSet(Unwrap(join.Run())), ReferenceChain(db.get(), param.steps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, PathStackPropertyTest,
+    ::testing::Values(
+        ChainCase{1, {{"article", false}, {"sec", false}, {"p", false}}},
+        ChainCase{2, {{"article", false}, {"sec", true}}},
+        ChainCase{3, {{"bdy", false}, {"sec", false}, {"p", true}}},
+        ChainCase{4, {{"article", false}, {"", false}, {"p", false}}},
+        ChainCase{5, {{"article", false}, {"fm", true}, {"au", false},
+                      {"snm", true}}},
+        ChainCase{6, {{"", false}, {"st", false}}},
+        ChainCase{7, {{"sec", false}, {"", true}}},
+        ChainCase{8, {{"article", false}, {"bdy", true}, {"sec", true},
+                      {"p", true}}}));
+
+}  // namespace
+}  // namespace tix::exec

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "text/term_dictionary.h"
+#include "text/tokenizer.h"
+
+namespace tix::text {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("Hello, World! 123 foo-bar");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].term, "hello");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].term, "world");
+  EXPECT_EQ(tokens[2].term, "123");
+  EXPECT_EQ(tokens[3].term, "foo");
+  EXPECT_EQ(tokens[3].position, 3u);
+  EXPECT_EQ(tokens[4].term, "bar");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ... !!! ---").empty());
+}
+
+TEST(TokenizerTest, StopwordRemovalKeepsPositions) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  Tokenizer tokenizer(options);
+  const auto tokens = tokenizer.Tokenize("the quick fox and the dog");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].term, "quick");
+  EXPECT_EQ(tokens[0].position, 1u);  // hole at 0 ("the")
+  EXPECT_EQ(tokens[1].term, "fox");
+  EXPECT_EQ(tokens[1].position, 2u);
+  EXPECT_EQ(tokens[2].term, "dog");
+  EXPECT_EQ(tokens[2].position, 5u);
+}
+
+TEST(TokenizerTest, StemmingOption) {
+  TokenizerOptions options;
+  options.stem = true;
+  Tokenizer tokenizer(options);
+  const auto terms = tokenizer.TokenizeToTerms("engines queries running");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "engine");
+  EXPECT_EQ(terms[1], "query");
+  EXPECT_EQ(terms[2], "run");
+}
+
+TEST(TokenizerTest, NormalizeMatchesTokenization) {
+  TokenizerOptions options;
+  options.stem = true;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Normalize("Engines"),
+            tokenizer.TokenizeToTerms("Engines")[0]);
+}
+
+TEST(StemmerTest, PluralForms) {
+  EXPECT_EQ(StemWord("engines"), "engine");
+  EXPECT_EQ(StemWord("classes"), "class");
+  EXPECT_EQ(StemWord("queries"), "query");
+  EXPECT_EQ(StemWord("class"), "class");
+  EXPECT_EQ(StemWord("bus"), "bus");
+  EXPECT_EQ(StemWord("analysis"), "analysis");
+}
+
+TEST(StemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(StemWord("as"), "as");
+  EXPECT_EQ(StemWord("is"), "is");
+  EXPECT_EQ(StemWord("its"), "its");
+}
+
+TEST(StemmerTest, EdIngLy) {
+  EXPECT_EQ(StemWord("indexed"), "index");
+  EXPECT_EQ(StemWord("running"), "run");
+  EXPECT_EQ(StemWord("quickly"), "quick");
+}
+
+TEST(StopwordTest, CommonWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("engine"));
+  EXPECT_FALSE(IsStopword("xml"));
+}
+
+TEST(TermDictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.Intern("alpha");
+  const TermId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.TermOf(a), "alpha");
+  EXPECT_EQ(dict.Lookup("beta"), b);
+  EXPECT_EQ(dict.Lookup("gamma"), kInvalidTermId);
+}
+
+TEST(TermDictionaryTest, SerializationRoundTrip) {
+  TermDictionary dict;
+  for (int i = 0; i < 100; ++i) dict.Intern("term" + std::to_string(i));
+  dict.Intern("");  // empty term is legal
+  const std::string blob = dict.Serialize();
+  const auto restored = TermDictionary::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), dict.size());
+  EXPECT_EQ(restored.value().Lookup("term42"), dict.Lookup("term42"));
+  EXPECT_EQ(restored.value().TermOf(7), "term7");
+}
+
+TEST(TermDictionaryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(TermDictionary::Deserialize("\xFF\xFF\xFF").ok());
+  TermDictionary dict;
+  dict.Intern("abc");
+  std::string blob = dict.Serialize();
+  blob.resize(blob.size() - 1);
+  EXPECT_FALSE(TermDictionary::Deserialize(blob).ok());
+}
+
+}  // namespace
+}  // namespace tix::text

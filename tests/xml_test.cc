@@ -1,0 +1,224 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace tix::xml {
+namespace {
+
+Result<XmlDocument> Parse(std::string_view input) {
+  return ParseXml(input, "test.xml");
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  const XmlDocument doc = std::move(Parse("<a/>")).value();
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->tag(), "a");
+  EXPECT_TRUE(doc.root()->children().empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  const auto result = Parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const XmlNode* root = result.value().root();
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->tag(), "b");
+  EXPECT_EQ(root->children()[0]->children()[0]->text(), "hello");
+  EXPECT_EQ(root->children()[1]->children()[0]->text(), "world");
+}
+
+TEST(XmlParserTest, Attributes) {
+  const auto result = Parse(R"(<a x="1" y='two &amp; three'/>)");
+  ASSERT_TRUE(result.ok());
+  const XmlNode* root = result.value().root();
+  ASSERT_EQ(root->attributes().size(), 2u);
+  EXPECT_EQ(*root->FindAttribute("x"), "1");
+  EXPECT_EQ(*root->FindAttribute("y"), "two & three");
+  EXPECT_EQ(root->FindAttribute("z"), nullptr);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  const auto result = Parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->children()[0]->text(),
+            "<tag> & \"q\" 's' AB");
+}
+
+TEST(XmlParserTest, NumericEntityUtf8) {
+  const auto result = Parse("<a>&#233;&#x4E2D;</a>");  // é, 中
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->children()[0]->text(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(XmlParserTest, CdataPreservedVerbatim) {
+  const auto result = Parse("<a><![CDATA[<not> & parsed]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->children()[0]->text(), "<not> & parsed");
+}
+
+TEST(XmlParserTest, CommentsAndPisIgnored) {
+  const auto result = Parse(
+      "<?xml version=\"1.0\"?><!-- head --><a><!-- in -->x<?pi data?></a>"
+      "<!-- tail -->");
+  ASSERT_TRUE(result.ok());
+  const XmlNode* root = result.value().root();
+  ASSERT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(root->children()[0]->text(), "x");
+}
+
+TEST(XmlParserTest, DoctypeWithInternalSubsetSkipped) {
+  const auto result = Parse(
+      "<!DOCTYPE article [ <!ELEMENT a (b)> <!ENTITY x \"y\"> ]><a/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->tag(), "a");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  const auto result = Parse("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->children().size(), 2u);
+}
+
+TEST(XmlParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  const auto result = ParseXml("<a> <b/> </a>", "t", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, MixedContent) {
+  const auto result = Parse("<p>see <b>bold</b> words</p>");
+  ASSERT_TRUE(result.ok());
+  const XmlNode* root = result.value().root();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->text(), "see ");
+  EXPECT_EQ(root->children()[1]->tag(), "b");
+  EXPECT_EQ(root->children()[2]->text(), " words");
+  EXPECT_EQ(root->AllText(), "see  bold  words");
+}
+
+TEST(XmlParserTest, MismatchedTagReportsPosition) {
+  const auto result = Parse("<a><b></a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+  EXPECT_NE(result.status().message().find("mismatched"), std::string::npos);
+  EXPECT_NE(result.status().message().find("test.xml:1:"), std::string::npos);
+}
+
+TEST(XmlParserTest, ErrorsOnGarbage) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("plain text").ok());
+  EXPECT_FALSE(Parse("<a>").ok());
+  EXPECT_FALSE(Parse("<a></a><b></b>").ok());
+  EXPECT_FALSE(Parse("<a x=1/>").ok());
+  EXPECT_FALSE(Parse("<a x=\"1\" x=\"2\"/>").ok());
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(Parse("<a><![CDATA[x</a>").ok());
+}
+
+TEST(XmlParserTest, DeepNestingWithinLimit) {
+  std::string input;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) input += "<d>";
+  input += "x";
+  for (int i = 0; i < depth; ++i) input += "</d>";
+  const auto result = Parse(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NodeCount(), static_cast<size_t>(depth + 1));
+}
+
+TEST(XmlParserTest, DepthLimitEnforced) {
+  ParseOptions options;
+  options.max_depth = 10;
+  std::string input;
+  for (int i = 0; i < 20; ++i) input += "<d>";
+  for (int i = 0; i < 20; ++i) input += "</d>";
+  EXPECT_FALSE(ParseXml(input, "t", options).ok());
+}
+
+// ------------------------------------------------------------------ DOM
+
+TEST(XmlDomTest, SubtreeSizeAndFind) {
+  auto root = XmlNode::MakeElement("a");
+  XmlNode* b = root->AddElement("b");
+  b->AddText("t");
+  root->AddElement("c");
+  EXPECT_EQ(root->SubtreeSize(), 4u);
+  EXPECT_EQ(root->FindFirst("b"), b);
+  EXPECT_EQ(root->FindFirst("zz"), nullptr);
+}
+
+TEST(XmlDomTest, ParentLinks) {
+  auto root = XmlNode::MakeElement("a");
+  XmlNode* b = root->AddElement("b");
+  XmlNode* t = b->AddText("x");
+  EXPECT_EQ(t->parent(), b);
+  EXPECT_EQ(b->parent(), root.get());
+  EXPECT_EQ(root->parent(), nullptr);
+}
+
+// ----------------------------------------------------------- Serializer
+
+TEST(XmlSerializerTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeText("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+}
+
+TEST(XmlSerializerTest, CompactRoundTrip) {
+  const std::string source =
+      R"(<a x="1"><b>hi &amp; bye</b><c/><d>t1<e/>t2</d></a>)";
+  const XmlDocument doc = std::move(Parse(source)).value();
+  EXPECT_EQ(SerializeDocument(doc), source);
+}
+
+TEST(XmlSerializerTest, PrettyKeepsCharacterData) {
+  const auto doc = Parse("<a><b>exact text</b><c/></a>");
+  SerializeOptions options;
+  options.pretty = true;
+  const std::string pretty = SerializeDocument(doc.value(), options);
+  EXPECT_NE(pretty.find("exact text"), std::string::npos);
+  // Re-parsing the pretty output yields the same character data.
+  const auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().root()->FindFirst("b")->AllText(), "exact text");
+}
+
+// Property: serialize(parse(serialize(tree))) == serialize(tree) for
+// random trees.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::unique_ptr<XmlNode> RandomTree(Random* rng, int depth) {
+  auto node = XmlNode::MakeElement("e" + std::to_string(rng->NextUint32(5)));
+  if (rng->NextBool(0.3)) {
+    node->AddAttribute("k" + std::to_string(rng->NextUint32(3)),
+                       "v<&>\"" + std::to_string(rng->NextUint32(100)));
+  }
+  const uint32_t children = depth > 0 ? rng->NextUint32(4) : 0;
+  for (uint32_t i = 0; i < children; ++i) {
+    if (rng->NextBool(0.4)) {
+      node->AddText("text & <" + std::to_string(rng->NextUint32(100)) + ">");
+    } else {
+      node->AddChild(RandomTree(rng, depth - 1));
+    }
+  }
+  return node;
+}
+
+TEST_P(XmlRoundTripTest, SerializeParseSerializeIsIdentity) {
+  Random rng(GetParam());
+  XmlDocument doc("random.xml", RandomTree(&rng, 4));
+  const std::string once = SerializeDocument(doc);
+  const auto reparsed = ParseXml(once, "random.xml");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(SerializeDocument(reparsed.value()), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace tix::xml

@@ -1,0 +1,256 @@
+// tix_cli — command-line front end for the TIX database.
+//
+//   tix_cli load  --db=DIR file.xml [file.xml ...]   load documents
+//   tix_cli index --db=DIR                           build + persist index
+//   tix_cli stats --db=DIR                           database/index stats
+//   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
+//   tix_cli query --db=DIR "FOR $a IN ... RETURN $a" run a query
+//   tix_cli path  --db=DIR "article//sec/p"          holistic path join
+//
+// A typical session:
+//   tix_cli load  --db=/tmp/db docs/*.xml
+//   tix_cli index --db=/tmp/db
+//   tix_cli query --db=/tmp/db 'FOR $a IN document("a.xml")//doc//*
+//                               SCORE $a USING foo({"xml"}) RETURN $a'
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/path_stack.h"
+#include "index/inverted_index.h"
+#include "query/engine.h"
+#include "storage/database.h"
+#include "xml/parser.h"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string db_dir;
+  std::vector<std::string> positional;
+  uint64_t min = 0;
+  uint64_t max = UINT64_MAX;
+  size_t limit = 10;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--db=", 0) == 0) {
+      args.db_dir = arg.substr(5);
+    } else if (arg.rfind("--min=", 0) == 0) {
+      args.min = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("--max=", 0) == 0) {
+      args.max = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      args.limit = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+[[noreturn]] void Die(const tix::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Check(tix::Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+std::string IndexPath(const std::string& db_dir) {
+  return db_dir + "/index.tix";
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tix_cli <load|index|stats|terms|query> --db=DIR "
+               "[args]\n");
+  return 2;
+}
+
+int CmdLoad(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "load: no input files\n");
+    return 2;
+  }
+  // Open when a catalog exists, else create.
+  auto opened = tix::storage::Database::Open(args.db_dir);
+  std::unique_ptr<tix::storage::Database> db =
+      opened.ok() ? std::move(opened).value()
+                  : Check(tix::storage::Database::Create(args.db_dir));
+  for (const std::string& path : args.positional) {
+    auto document = Check(tix::xml::ParseXmlFile(path));
+    std::string name = path;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    document.set_name(name);
+    const tix::storage::DocId doc = Check(db->AddDocument(document));
+    std::printf("loaded %s as doc %u (%llu nodes)\n", name.c_str(), doc,
+                static_cast<unsigned long long>(document.NodeCount()));
+  }
+  const tix::Status saved = db->Save();
+  if (!saved.ok()) Die(saved);
+  std::printf("database saved: %llu nodes total\n",
+              static_cast<unsigned long long>(db->num_nodes()));
+  return 0;
+}
+
+int CmdIndex(const Args& args) {
+  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto index = Check(tix::index::InvertedIndex::Build(db.get()));
+  const tix::Status saved = index.SaveToFile(IndexPath(args.db_dir));
+  if (!saved.ok()) Die(saved);
+  std::printf("indexed %llu terms, %llu postings -> %s\n",
+              static_cast<unsigned long long>(index.stats().num_terms),
+              static_cast<unsigned long long>(index.stats().num_postings),
+              IndexPath(args.db_dir).c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  std::printf("database: %s\n", args.db_dir.c_str());
+  std::printf("  nodes:      %s\n",
+              tix::FormatWithCommas(static_cast<int64_t>(db->num_nodes()))
+                  .c_str());
+  std::printf("  tags:       %zu\n", db->num_tags());
+  std::printf("  documents:  %zu\n", db->documents().size());
+  for (const auto& doc : db->documents()) {
+    if (db->documents().size() <= 10) {
+      std::printf("    doc %u: %s (%llu nodes, %llu words)\n", doc.doc_id,
+                  doc.name.c_str(),
+                  static_cast<unsigned long long>(doc.node_count),
+                  static_cast<unsigned long long>(doc.word_count));
+    }
+  }
+  auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
+  if (index.ok()) {
+    std::printf("index:\n  terms:      %s\n  postings:   %s\n",
+                tix::FormatWithCommas(
+                    static_cast<int64_t>(index.value().stats().num_terms))
+                    .c_str(),
+                tix::FormatWithCommas(
+                    static_cast<int64_t>(index.value().stats().num_postings))
+                    .c_str());
+  } else {
+    std::printf("index: not built (run: tix_cli index --db=%s)\n",
+                args.db_dir.c_str());
+  }
+  return 0;
+}
+
+int CmdTerms(const Args& args) {
+  auto index =
+      Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
+  const auto terms = index.TermsWithFrequencyBetween(
+      args.min == 0 ? 1 : args.min, args.max);
+  size_t shown = 0;
+  for (auto it = terms.rbegin(); it != terms.rend() && shown < args.limit;
+       ++it, ++shown) {
+    std::printf("%10llu  %s\n",
+                static_cast<unsigned long long>(index.TermFrequency(*it)),
+                it->c_str());
+  }
+  std::printf("(%zu terms in range; showing %zu)\n", terms.size(), shown);
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "query: no query text\n");
+    return 2;
+  }
+  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto index =
+      Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
+  tix::query::QueryEngine engine(db.get(), &index);
+  const auto output = Check(engine.ExecuteText(args.positional[0]));
+  std::printf(
+      "%zu results (anchors %llu, scored %llu)\n",
+      output.results.size(),
+      static_cast<unsigned long long>(output.stats.anchors),
+      static_cast<unsigned long long>(output.stats.scored_elements));
+  std::printf("%s", Check(engine.RenderXml(output, args.limit)).c_str());
+  return 0;
+}
+
+int CmdPath(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "path: no pattern (e.g. \"article//sec/p\")\n");
+    return 2;
+  }
+  // Parse "tag" steps separated by '//' (ancestor-descendant) or '/'
+  // (parent-child); '*' is a wildcard step.
+  std::vector<tix::exec::PathStep> steps;
+  const std::string& pattern = args.positional[0];
+  size_t i = 0;
+  bool next_parent_child = false;
+  while (i < pattern.size()) {
+    if (pattern[i] == '/') {
+      if (i + 1 < pattern.size() && pattern[i + 1] == '/') {
+        next_parent_child = false;
+        i += 2;
+      } else {
+        next_parent_child = true;
+        ++i;
+      }
+      continue;
+    }
+    size_t end = pattern.find('/', i);
+    if (end == std::string::npos) end = pattern.size();
+    std::string tag = pattern.substr(i, end - i);
+    if (tag == "*") tag.clear();
+    steps.push_back(tix::exec::PathStep{tag, next_parent_child});
+    i = end;
+  }
+  if (steps.empty()) {
+    std::fprintf(stderr, "path: empty pattern\n");
+    return 2;
+  }
+  steps[0].parent_child = false;
+
+  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  tix::WallTimer timer;
+  tix::exec::PathStackJoin join(db.get(), steps);
+  const auto matches = Check(join.Run());
+  std::printf("%zu matches in %.4fs (%llu elements scanned, %llu pushes)\n",
+              matches.size(), timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(join.stats().elements_scanned),
+              static_cast<unsigned long long>(join.stats().pushes));
+  for (size_t m = 0; m < std::min(args.limit, matches.size()); ++m) {
+    std::string line;
+    for (tix::storage::NodeId node : matches[m]) {
+      if (!line.empty()) line += " -> ";
+      const auto record = Check(db->GetNode(node));
+      line += tix::StrFormat("%s#%u", db->TagName(record.tag_id).c_str(),
+                             node);
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command.empty() || args.db_dir.empty()) return Usage();
+  if (args.command == "load") return CmdLoad(args);
+  if (args.command == "index") return CmdIndex(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "terms") return CmdTerms(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "path") return CmdPath(args);
+  return Usage();
+}
