@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "common/varint.h"
 #include "exec/occurrence_stream.h"
+#include "exec/parallel_term_join.h"
 #include "exec/path_stack.h"
 #include "exec/pick_operator.h"
 #include "exec/structural_join.h"
@@ -23,6 +24,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/database.h"
 #include "text/tokenizer.h"
+#include "workload/corpus.h"
 #include "workload/paper_example.h"
 
 namespace {
@@ -178,6 +180,89 @@ void BM_PathStackThreeSteps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathStackThreeSteps);
+
+// --------------------------------------------- parallel TermJoin (threads)
+
+// A corpus big enough that per-partition work dwarfs thread setup.
+struct ParallelFixtureState {
+  std::unique_ptr<tix::storage::Database> db;
+  std::unique_ptr<tix::index::InvertedIndex> index;
+  tix::algebra::IrPredicate term_predicate;
+  tix::algebra::IrPredicate phrase_predicate;
+
+  ParallelFixtureState() {
+    const std::string dir = TempDirFor("parallel");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    db = std::move(tix::storage::Database::Create(dir)).value();
+    tix::workload::CorpusOptions options;
+    options.num_articles = 300;
+    options.vocabulary_size = 2000;
+    options.planted_terms = {{"xq1", 6000}, {"xq2", 3000}};
+    options.planted_phrases = {{"xpa", "xpb", 4000, 3000, 1500}};
+    if (!tix::workload::GenerateCorpus(db.get(), options).ok()) std::abort();
+    index = std::make_unique<tix::index::InvertedIndex>(
+        std::move(tix::index::InvertedIndex::Build(db.get())).value());
+    term_predicate.phrases.push_back(
+        tix::algebra::WeightedPhrase{{"xq1"}, 0.8});
+    term_predicate.phrases.push_back(
+        tix::algebra::WeightedPhrase{{"xq2"}, 0.6});
+    phrase_predicate.phrases.push_back(
+        tix::algebra::WeightedPhrase{{"xpa", "xpb"}, 0.8});
+    phrase_predicate.phrases.push_back(
+        tix::algebra::WeightedPhrase{{"xq2"}, 0.6});
+  }
+};
+
+ParallelFixtureState& ParallelFixture() {
+  static auto* const kState = new ParallelFixtureState();
+  return *kState;
+}
+
+void RunParallelJoin(benchmark::State& state,
+                     const tix::algebra::IrPredicate& predicate,
+                     bool enhanced) {
+  auto& fixture = ParallelFixture();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const tix::algebra::ComplexProximityScorer scorer(predicate.Weights());
+  size_t outputs = 0;
+  for (auto _ : state) {
+    tix::exec::ParallelTermJoinOptions options;
+    options.join.enhanced = enhanced;
+    // threads == 1 takes the serial fast path: the baseline row.
+    options.num_threads = threads <= 1 ? 0 : threads;
+    options.num_partitions = threads <= 1 ? 0 : threads;
+    tix::exec::ParallelTermJoin join(fixture.db.get(), fixture.index.get(),
+                                     &predicate, &scorer, options);
+    auto result = join.Run();
+    if (!result.ok()) std::abort();
+    outputs = result.value().size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * outputs));
+}
+
+void BM_ParallelTermJoin(benchmark::State& state) {
+  RunParallelJoin(state, ParallelFixture().term_predicate,
+                  /*enhanced=*/false);
+}
+BENCHMARK(BM_ParallelTermJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelTermJoinEnhanced(benchmark::State& state) {
+  RunParallelJoin(state, ParallelFixture().term_predicate,
+                  /*enhanced=*/true);
+}
+BENCHMARK(BM_ParallelTermJoinEnhanced)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// PhraseFinder streams (skip-block + adjacency verification) inside the
+// partitioned merge.
+void BM_ParallelPhraseFinderJoin(benchmark::State& state) {
+  RunParallelJoin(state, ParallelFixture().phrase_predicate,
+                  /*enhanced=*/false);
+}
+BENCHMARK(BM_ParallelPhraseFinderJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------------------------ pick
 

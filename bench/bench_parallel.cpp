@@ -1,0 +1,140 @@
+// Doc-partitioned parallel TermJoin: thread sweep (1/2/4/8) for the
+// two-term predicate of Table 1 under simple, complex and Enhanced
+// complex scoring, plus a phrase predicate (PhraseFinder streams inside
+// the partitioned merge). Emits machine-readable results to
+// BENCH_parallel.json next to the printed table.
+//
+//   ./build/bench/bench_parallel [--articles=3000] [--runs=3]
+//                                [--freq=1000] [--data-dir=/tmp/tix_bench]
+//                                [--out=BENCH_parallel.json]
+//
+// Threads == 1 is the serial fast path (identical to plain TermJoin), so
+// the speedup column is against today's single-threaded engine. Wall
+// clock speedup requires real cores: on a single-CPU container the
+// partitions time-slice and speedup stays ~1x; the JSON records the
+// visible CPU count so readers can interpret the numbers.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_corpus.h"
+#include "bench/bench_util.h"
+#include "bench/table_runner.h"
+
+namespace {
+
+struct Sweep {
+  std::string name;
+  double seconds[4] = {0, 0, 0, 0};  // threads 1, 2, 4, 8
+  size_t outputs = 0;
+};
+
+constexpr size_t kThreads[4] = {1, 2, 4, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tix::bench;
+  const Flags flags(argc, argv);
+  const uint64_t articles = flags.GetInt("articles", 3000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const uint64_t freq = flags.GetInt("freq", 1000);
+  const std::string dir = flags.GetString("data-dir", "/tmp/tix_bench");
+  const std::string out = flags.GetString("out", "BENCH_parallel.json");
+
+  auto env_result = GetOrBuildBenchEnv(dir, articles, flags.GetInt("seed", 42));
+  if (!env_result.ok()) {
+    std::fprintf(stderr, "%s\n", env_result.status().ToString().c_str());
+    return 1;
+  }
+  BenchEnv env = std::move(env_result).value();
+  const unsigned cpus = std::thread::hardware_concurrency();
+
+  const tix::algebra::IrPredicate two_term =
+      TwoTermPredicate(Table1Term(1, freq), Table1Term(2, freq));
+  tix::algebra::IrPredicate phrase;
+  phrase.phrases.push_back(
+      tix::algebra::WeightedPhrase{{Table5Term(1, 1), Table5Term(1, 2)}, 0.8});
+  phrase.phrases.push_back(
+      tix::algebra::WeightedPhrase{{Table1Term(2, freq)}, 0.6});
+
+  const tix::algebra::WeightedCountScorer simple(two_term.Weights());
+  const tix::algebra::ComplexProximityScorer complex_scorer(two_term.Weights());
+  const tix::algebra::ComplexProximityScorer phrase_scorer(phrase.Weights());
+
+  std::vector<Sweep> sweeps = {
+      {"term_join_simple"},
+      {"term_join_complex"},
+      {"term_join_enhanced"},
+      {"phrase_finder_complex"},
+  };
+
+  std::printf(
+      "Parallel TermJoin — doc-partitioned thread sweep\n"
+      "corpus: %llu articles, %llu nodes; term freq %llu; %u visible CPU(s)\n"
+      "threads==1 is the serial single-pass TermJoin (today's engine)\n\n",
+      static_cast<unsigned long long>(env.num_articles),
+      static_cast<unsigned long long>(env.db->num_nodes()),
+      static_cast<unsigned long long>(ScaledFreq(freq, env.scale)), cpus);
+  std::printf("%22s | %9s %9s %9s %9s | %8s\n", "variant", "t=1(s)", "t=2(s)",
+              "t=4(s)", "t=8(s)", "x@4");
+  PrintRule(86);
+
+  for (Sweep& sweep : sweeps) {
+    const bool enhanced = sweep.name == "term_join_enhanced";
+    const bool is_phrase = sweep.name == "phrase_finder_complex";
+    const tix::algebra::IrPredicate& predicate = is_phrase ? phrase : two_term;
+    const tix::algebra::Scorer* scorer =
+        sweep.name == "term_join_simple"
+            ? static_cast<const tix::algebra::Scorer*>(&simple)
+            : is_phrase ? &phrase_scorer : &complex_scorer;
+    for (int t = 0; t < 4; ++t) {
+      sweep.seconds[t] = RunParallelTermJoin(env, predicate, scorer, enhanced,
+                                             kThreads[t], runs,
+                                             &sweep.outputs);
+    }
+    std::printf("%22s | %9.4f %9.4f %9.4f %9.4f | %7.2fx\n",
+                sweep.name.c_str(), sweep.seconds[0], sweep.seconds[1],
+                sweep.seconds[2], sweep.seconds[3],
+                sweep.seconds[2] > 0 ? sweep.seconds[0] / sweep.seconds[2]
+                                     : 0.0);
+  }
+
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"parallel_term_join\",\n"
+               "  \"articles\": %llu,\n"
+               "  \"nodes\": %llu,\n"
+               "  \"term_frequency\": %llu,\n"
+               "  \"visible_cpus\": %u,\n"
+               "  \"runs\": %d,\n"
+               "  \"threads\": [1, 2, 4, 8],\n"
+               "  \"variants\": [\n",
+               static_cast<unsigned long long>(env.num_articles),
+               static_cast<unsigned long long>(env.db->num_nodes()),
+               static_cast<unsigned long long>(ScaledFreq(freq, env.scale)),
+               cpus, runs);
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const Sweep& sweep = sweeps[i];
+    std::fprintf(
+        file,
+        "    {\"name\": \"%s\", \"outputs\": %zu,\n"
+        "     \"seconds\": [%.6f, %.6f, %.6f, %.6f],\n"
+        "     \"speedup_at_4_threads\": %.4f}%s\n",
+        sweep.name.c_str(), sweep.outputs, sweep.seconds[0], sweep.seconds[1],
+        sweep.seconds[2], sweep.seconds[3],
+        sweep.seconds[2] > 0 ? sweep.seconds[0] / sweep.seconds[2] : 0.0,
+        i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

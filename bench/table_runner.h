@@ -9,6 +9,7 @@
 #include "bench/bench_util.h"
 #include "exec/composite.h"
 #include "exec/gen_meet.h"
+#include "exec/parallel_term_join.h"
 #include "exec/term_join.h"
 
 /// \file
@@ -84,6 +85,31 @@ inline RowTimes RunRow(BenchEnv& env, const algebra::IrPredicate& predicate,
         runs);
   }
   return row;
+}
+
+/// Times doc-partitioned ParallelTermJoin at one thread count.
+/// threads <= 1 runs the serial fast path (exactly the plain TermJoin),
+/// so it is the honest baseline for a speedup column.
+inline double RunParallelTermJoin(BenchEnv& env,
+                                  const algebra::IrPredicate& predicate,
+                                  const algebra::Scorer* scorer,
+                                  bool enhanced, size_t threads, int runs,
+                                  size_t* outputs = nullptr) {
+  return Measure(
+      [&] {
+        exec::ParallelTermJoinOptions options;
+        options.join.enhanced = enhanced;
+        options.num_threads = threads <= 1 ? 0 : threads;
+        options.num_partitions = threads <= 1 ? 0 : threads;
+        exec::ParallelTermJoin method(env.db.get(), env.index.get(),
+                                      &predicate, scorer, options);
+        auto result = method.Run();
+        if (result.ok() && outputs != nullptr) {
+          *outputs = result.value().size();
+        }
+        return result.status();
+      },
+      runs);
 }
 
 /// Builds the two-term predicate of Tables 1–3 (weights 0.8 / 0.6 as in

@@ -1,0 +1,72 @@
+#ifndef TIX_COMMON_THREAD_POOL_H_
+#define TIX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Fixed-size worker pool used by the parallel execution layer
+/// (exec::ParallelTermJoin). Tasks are closures submitted to a FIFO
+/// queue; Submit returns a std::future for the task's result. Shutdown
+/// is graceful: queued tasks are drained before the workers join.
+
+namespace tix {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+  TIX_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t size() const { return workers_.size(); }
+
+  /// Number of tasks executed to completion since construction.
+  uint64_t tasks_completed() const;
+
+  /// Enqueues `fn` and returns a future for its result. Submitting
+  /// after Shutdown() is a programming error (the task is rejected and
+  /// the future holds a broken promise).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return future;  // broken promise: fails loudly
+      tasks_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Waits for all queued tasks, then stops the workers. Idempotent;
+  /// called by the destructor.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_THREAD_POOL_H_

@@ -16,6 +16,7 @@ std::vector<Occurrence> OccurrenceStream::DrainAll() {
 std::optional<Occurrence> TermOccurrenceStream::Peek() const {
   if (list_ == nullptr || pos_ >= list_->postings.size()) return std::nullopt;
   const index::Posting& posting = list_->postings[pos_];
+  if (posting.doc_id >= range_.end) return std::nullopt;
   return Occurrence{posting.doc_id, posting.node_id, posting.word_pos};
 }
 
@@ -24,10 +25,12 @@ void TermOccurrenceStream::Advance() {
 }
 
 PhraseFinderStream::PhraseFinderStream(
-    std::vector<const index::PostingList*> lists, bool galloping)
+    std::vector<const index::PostingList*> lists, bool galloping,
+    DocRange range)
     : lists_(std::move(lists)),
       positions_(lists_.size(), 0),
-      galloping_(galloping) {
+      galloping_(galloping),
+      range_(range) {
   for (const index::PostingList* list : lists_) {
     if (list == nullptr || list->empty()) {
       exhausted_ = true;
@@ -35,6 +38,11 @@ PhraseFinderStream::PhraseFinderStream(
     }
   }
   if (lists_.empty()) exhausted_ = true;
+  if (!exhausted_ && range_.begin != 0) {
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      positions_[i] = lists_[i]->LowerBoundDoc(range_.begin);
+    }
+  }
   if (!exhausted_) FindNextMatch();
 }
 
@@ -59,6 +67,9 @@ bool PhraseFinderStream::AdvanceCursor(size_t i, storage::DocId doc,
     return posting.doc_id < doc ||
            (posting.doc_id == doc && posting.word_pos < target_pos);
   };
+  // Leap whole skip blocks first: O(log #blocks) to land within
+  // kSkipInterval postings of the target, regardless of the gap.
+  cursor = lists_[i]->SkipForward(cursor, doc, target_pos);
   if (!galloping_) {
     while (cursor < postings.size() && before_target(postings[cursor])) {
       ++cursor;
@@ -101,6 +112,7 @@ void PhraseFinderStream::FindNextMatch() {
   const std::vector<index::Posting>& first = lists_[0]->postings;
   while (positions_[0] < first.size()) {
     const index::Posting& anchor = first[positions_[0]];
+    if (anchor.doc_id >= range_.end) break;
     ++postings_scanned_;
     bool match = true;
     for (size_t i = 1; i < lists_.size(); ++i) {
@@ -129,21 +141,22 @@ void PhraseFinderStream::FindNextMatch() {
 }
 
 std::vector<std::unique_ptr<OccurrenceStream>> MakeOccurrenceStreams(
-    const index::InvertedIndex& index, const algebra::IrPredicate& predicate) {
+    const index::InvertedIndex& index, const algebra::IrPredicate& predicate,
+    DocRange range) {
   std::vector<std::unique_ptr<OccurrenceStream>> streams;
   streams.reserve(predicate.phrases.size());
   for (const algebra::WeightedPhrase& phrase : predicate.phrases) {
     if (phrase.terms.size() == 1) {
       streams.push_back(std::make_unique<TermOccurrenceStream>(
-          index.Lookup(phrase.terms[0])));
+          index.Lookup(phrase.terms[0]), range));
     } else {
       std::vector<const index::PostingList*> lists;
       lists.reserve(phrase.terms.size());
       for (const std::string& term : phrase.terms) {
         lists.push_back(index.Lookup(term));
       }
-      streams.push_back(
-          std::make_unique<PhraseFinderStream>(std::move(lists)));
+      streams.push_back(std::make_unique<PhraseFinderStream>(
+          std::move(lists), /*galloping=*/false, range));
     }
   }
   return streams;

@@ -15,8 +15,25 @@
 /// read a posting list directly; multi-term phrases are verified on the
 /// fly by the PhraseFinder merge (Sec. 5.1.2), so TermJoin is oblivious
 /// to whether a "term" is a phrase.
+///
+/// Every stream can be restricted to a half-open document range — the
+/// slicing primitive of doc-partitioned parallel TermJoin. Positioning
+/// uses the posting lists' per-document boundary offsets (O(log n))
+/// rather than a scan.
 
 namespace tix::exec {
+
+/// Half-open document-id range [begin, end). The default spans every
+/// document, so unrestricted callers are unaffected.
+struct DocRange {
+  storage::DocId begin = 0;
+  storage::DocId end = UINT32_MAX;
+
+  bool IsAll() const { return begin == 0 && end == UINT32_MAX; }
+  bool Contains(storage::DocId doc) const { return doc >= begin && doc < end; }
+
+  friend bool operator==(const DocRange&, const DocRange&) = default;
+};
 
 /// One phrase occurrence (position of the phrase's first term).
 struct Occurrence {
@@ -43,14 +60,23 @@ class OccurrenceStream {
 class TermOccurrenceStream : public OccurrenceStream {
  public:
   /// `list` may be nullptr (unknown term); the stream is then empty.
-  explicit TermOccurrenceStream(const index::PostingList* list)
-      : list_(list) {}
+  /// `range` restricts the stream to documents in [range.begin,
+  /// range.end); the start position is found via the list's doc-offset
+  /// table.
+  explicit TermOccurrenceStream(const index::PostingList* list,
+                                DocRange range = {})
+      : list_(list), range_(range) {
+    if (list_ != nullptr && range_.begin != 0) {
+      pos_ = list_->LowerBoundDoc(range_.begin);
+    }
+  }
 
   std::optional<Occurrence> Peek() const override;
   void Advance() override;
 
  private:
   const index::PostingList* list_;
+  DocRange range_;
   size_t pos_ = 0;
 };
 
@@ -65,9 +91,12 @@ class PhraseFinderStream : public OccurrenceStream {
   /// nullptr makes the stream empty. With `galloping`, cursor advances
   /// use exponential (galloping) search instead of linear stepping —
   /// profitable when term frequencies are very unbalanced (an extension
-  /// benchmarked in bench_micro; the paper's merge is linear).
+  /// benchmarked in bench_micro; the paper's merge is linear). Cursor
+  /// advances first leap over whole skip blocks when the lists carry
+  /// them (see index::PostingList::SkipForward). `range` restricts
+  /// matching to documents in [range.begin, range.end).
   explicit PhraseFinderStream(std::vector<const index::PostingList*> lists,
-                              bool galloping = false);
+                              bool galloping = false, DocRange range = {});
 
   std::optional<Occurrence> Peek() const override;
   void Advance() override;
@@ -87,14 +116,17 @@ class PhraseFinderStream : public OccurrenceStream {
   std::optional<Occurrence> current_;
   bool exhausted_ = false;
   bool galloping_ = false;
+  DocRange range_;
   uint64_t postings_scanned_ = 0;
 };
 
 /// Builds one occurrence stream per phrase of `predicate`, looking terms
 /// up in `index`. Missing terms produce empty streams (score 0, as the
-/// algebra prescribes for absent phrases).
+/// algebra prescribes for absent phrases). `range` restricts every
+/// stream to the given document range.
 std::vector<std::unique_ptr<OccurrenceStream>> MakeOccurrenceStreams(
-    const index::InvertedIndex& index, const algebra::IrPredicate& predicate);
+    const index::InvertedIndex& index, const algebra::IrPredicate& predicate,
+    DocRange range = {});
 
 }  // namespace tix::exec
 

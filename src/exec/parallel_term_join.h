@@ -1,0 +1,78 @@
+#ifndef TIX_EXEC_PARALLEL_TERM_JOIN_H_
+#define TIX_EXEC_PARALLEL_TERM_JOIN_H_
+
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "exec/term_join.h"
+
+/// \file
+/// Doc-partitioned parallel TermJoin. The TermJoin merge (Fig. 11) keeps
+/// a stack of ancestors of the current occurrence; because no element
+/// spans two documents, the stack is empty at every document boundary.
+/// The merge over documents [0, N) is therefore exactly the
+/// concatenation of independent merges over any partition of [0, N)
+/// into contiguous doc ranges — same pops, same pop order, same scores.
+/// ParallelTermJoin exploits this: it slices the corpus into contiguous
+/// doc-id partitions balanced by posting volume, runs one serial
+/// TermJoin per partition on a ThreadPool, and concatenates the
+/// per-partition outputs (already in global doc order).
+
+namespace tix::exec {
+
+struct ParallelTermJoinOptions {
+  /// Options forwarded to every per-partition TermJoin (`join.range` is
+  /// overwritten with the partition's range).
+  TermJoinOptions join;
+  /// Worker threads. 0 preserves today's serial behavior exactly: one
+  /// TermJoin over the full corpus on the calling thread.
+  size_t num_threads = 0;
+  /// Number of doc partitions; 0 means one per thread (or 1 when
+  /// serial). More partitions than threads is fine (they queue).
+  size_t num_partitions = 0;
+};
+
+/// Plans contiguous, disjoint doc-id ranges that cover [0, num_docs) and
+/// never split a document, balanced by the predicate's posting volume
+/// per document (computed from the posting lists' doc-offset tables in
+/// O(df), not a posting scan). Returns at most `target_partitions`
+/// non-empty ranges — fewer when there are fewer documents.
+std::vector<DocRange> PlanDocPartitions(const index::InvertedIndex& index,
+                                        const algebra::IrPredicate& predicate,
+                                        storage::DocId num_docs,
+                                        size_t target_partitions);
+
+class ParallelTermJoin {
+ public:
+  /// Same contract as TermJoin: all pointers must outlive the join.
+  ParallelTermJoin(storage::Database* db, const index::InvertedIndex* index,
+                   const algebra::IrPredicate* predicate,
+                   const algebra::Scorer* scorer,
+                   ParallelTermJoinOptions options = {});
+
+  /// Runs every partition to completion and returns the concatenated
+  /// output, byte-identical to serial TermJoin::Run().
+  Result<std::vector<ScoredElement>> Run();
+
+  /// Merged statistics: sums over partitions, except max_stack_depth
+  /// (max) and record_fetches (global node-store delta across the whole
+  /// run — per-partition deltas are meaningless under concurrency).
+  const TermJoinStats& stats() const { return stats_; }
+
+  /// Partition plan used by the last Run() (empty for the serial path).
+  const std::vector<DocRange>& partitions() const { return partitions_; }
+
+ private:
+  storage::Database* db_;
+  const index::InvertedIndex* index_;
+  const algebra::IrPredicate* predicate_;
+  const algebra::Scorer* scorer_;
+  ParallelTermJoinOptions options_;
+  std::vector<DocRange> partitions_;
+  TermJoinStats stats_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_PARALLEL_TERM_JOIN_H_

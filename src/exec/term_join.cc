@@ -135,7 +135,7 @@ Status TermJoin::Open() {
   open_ = true;
   input_done_ = false;
   fetches_at_open_ = db_->node_store().record_fetches();
-  streams_ = MakeOccurrenceStreams(*index_, *predicate_);
+  streams_ = MakeOccurrenceStreams(*index_, *predicate_, options_.range);
   return Status::OK();
 }
 

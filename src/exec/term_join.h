@@ -31,6 +31,11 @@ namespace tix::exec {
 struct TermJoinOptions {
   /// Use the parent/child-count index instead of record navigation.
   bool enhanced = false;
+  /// Restrict the merge to documents in [range.begin, range.end). The
+  /// stack empties at every document boundary (Fig. 11), so a doc-range
+  /// slice of the merge produces exactly the slice of the full output —
+  /// the property doc-partitioned ParallelTermJoin builds on.
+  DocRange range;
 };
 
 struct TermJoinStats {

@@ -11,8 +11,99 @@
 namespace tix::index {
 
 namespace {
-constexpr uint64_t kIndexMagic = 0x5449581049445801ULL;  // "TIX\x10IDX\x01"
+// Version 1: flat posting lists, no skip metadata in the header.
+constexpr uint64_t kIndexMagicV1 = 0x5449581049445801ULL;  // "TIX\x10IDX\x01"
+// Version 2: header carries the skip-block interval (see the format
+// comment in inverted_index.h); skip blocks themselves are rebuilt from
+// the postings at load time.
+constexpr uint64_t kIndexMagic = 0x5449581049445802ULL;  // "TIX\x10IDX\x02"
 }  // namespace
+
+void PostingList::BuildSkips() {
+  skips.clear();
+  doc_offsets.clear();
+  if (postings.empty()) return;
+  skips.reserve(postings.size() / kSkipInterval + 1);
+  storage::DocId prev_doc = postings[0].doc_id + 1;  // != first doc
+  for (uint32_t i = 0; i < postings.size(); ++i) {
+    const Posting& posting = postings[i];
+    if (i % kSkipInterval == 0) {
+      skips.push_back(SkipEntry{posting.doc_id, posting.word_pos, i});
+    }
+    if (posting.doc_id != prev_doc) {
+      doc_offsets.emplace_back(posting.doc_id, i);
+      prev_doc = posting.doc_id;
+    }
+  }
+}
+
+size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
+  if (doc == 0 || postings.empty()) return 0;
+  if (!doc_offsets.empty()) {
+    const auto it = std::lower_bound(
+        doc_offsets.begin(), doc_offsets.end(), doc,
+        [](const std::pair<storage::DocId, uint32_t>& entry,
+           storage::DocId target) { return entry.first < target; });
+    return it == doc_offsets.end() ? postings.size() : it->second;
+  }
+  // Acceleration structures not built (hand-assembled list): binary
+  // search the postings directly.
+  const auto it = std::lower_bound(
+      postings.begin(), postings.end(), doc,
+      [](const Posting& posting, storage::DocId target) {
+        return posting.doc_id < target;
+      });
+  return static_cast<size_t>(it - postings.begin());
+}
+
+size_t PostingList::SkipForward(size_t from, storage::DocId doc,
+                                uint32_t word_pos) const {
+  if (skips.empty()) return from;
+  const auto before_target = [doc, word_pos](const SkipEntry& entry) {
+    return entry.doc_id < doc ||
+           (entry.doc_id == doc && entry.word_pos < word_pos);
+  };
+  // Last skip entry whose block start is strictly before the target: all
+  // postings before that block start are before the target too.
+  const auto it =
+      std::partition_point(skips.begin(), skips.end(), before_target);
+  if (it == skips.begin()) return from;
+  const size_t block_start = std::prev(it)->offset;
+  return std::max(from, block_start);
+}
+
+Status PostingList::DebugCheckSorted() const {
+  uint32_t docs_seen = 0;
+  uint32_t nodes_seen = 0;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    const Posting& posting = postings[i];
+    const bool new_doc = i == 0 || posting.doc_id != postings[i - 1].doc_id;
+    if (new_doc) ++docs_seen;
+    if (new_doc || posting.node_id != postings[i - 1].node_id) ++nodes_seen;
+    if (i == 0) continue;
+    const Posting& prev = postings[i - 1];
+    if (posting.doc_id < prev.doc_id) {
+      return Status::Corruption("posting list: doc ids out of order");
+    }
+    if (posting.doc_id == prev.doc_id) {
+      if (posting.word_pos <= prev.word_pos) {
+        return Status::Corruption(
+            "posting list: word positions not strictly ascending");
+      }
+      if (posting.node_id < prev.node_id) {
+        return Status::Corruption(
+            "posting list: node ids out of order within a document");
+      }
+    }
+  }
+  if (docs_seen != doc_frequency) {
+    return Status::Corruption("posting list: doc_frequency mismatch");
+  }
+  if (nodes_seen != node_frequency) {
+    return Status::Corruption("posting list: node_frequency mismatch");
+  }
+  return Status::OK();
+}
 
 Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
   InvertedIndex out;
@@ -54,12 +145,16 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
   }
   out.stats_.num_terms = out.lists_.size();
   out.stats_.num_documents = db->documents().size();
+  for (PostingList& list : out.lists_) {
+    TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
+    list.BuildSkips();
+  }
   db->node_store().ResetCounters();
   return out;
 }
 
 const PostingList* InvertedIndex::Lookup(std::string_view term) const {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const text::Tokenizer tokenizer(tokenizer_options_);
   const std::string normalized = tokenizer.Normalize(term);
   const text::TermId id = dictionary_.Lookup(normalized);
@@ -68,7 +163,7 @@ const PostingList* InvertedIndex::Lookup(std::string_view term) const {
 }
 
 const PostingList* InvertedIndex::LookupId(text::TermId id) const {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   if (id >= lists_.size()) return nullptr;
   return &lists_[id];
 }
@@ -105,6 +200,7 @@ std::vector<std::string> InvertedIndex::TermsWithFrequencyBetween(
 Status InvertedIndex::SaveToFile(const std::string& path) const {
   std::string blob;
   PutVarint64(&blob, kIndexMagic);
+  PutVarint64(&blob, kSkipInterval);
   // Tokenizer options (must match at load).
   blob.push_back(tokenizer_options_.lowercase ? 1 : 0);
   blob.push_back(tokenizer_options_.remove_stopwords ? 1 : 0);
@@ -160,7 +256,17 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
 
   InvertedIndex out;
   TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
-  if (magic != kIndexMagic) return Status::Corruption("bad index magic");
+  if (magic != kIndexMagic && magic != kIndexMagicV1) {
+    return Status::Corruption("bad index magic");
+  }
+  if (magic == kIndexMagic) {
+    // Skip-block geometry the index was built with. Blocks are derived
+    // data (rebuilt below), so any positive interval is acceptable.
+    TIX_ASSIGN_OR_RETURN(const uint64_t skip_interval, GetVarint64(&blob));
+    if (skip_interval == 0) {
+      return Status::Corruption("index header: zero skip interval");
+    }
+  }
   if (blob.size() < 3) return Status::Corruption("index truncated");
   out.tokenizer_options_.lowercase = blob[0] != 0;
   out.tokenizer_options_.remove_stopwords = blob[1] != 0;
@@ -211,6 +317,10 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
   out.stats_.num_terms = num_lists;
   TIX_ASSIGN_OR_RETURN(out.stats_.num_documents, GetVarint64(&blob));
   TIX_ASSIGN_OR_RETURN(out.stats_.num_text_nodes, GetVarint64(&blob));
+  for (PostingList& list : out.lists_) {
+    TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
+    list.BuildSkips();
+  }
   return out;
 }
 

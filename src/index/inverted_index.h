@@ -1,9 +1,11 @@
 #ifndef TIX_INDEX_INVERTED_INDEX_H_
 #define TIX_INDEX_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -17,6 +19,21 @@
 /// live in the same coordinate space as node intervals, which is what
 /// lets TermJoin merge postings against the structure and lets
 /// PhraseFinder verify adjacency without touching the stored text.
+///
+/// On-disk format (version 2, see kIndexMagic):
+///   varint magic
+///   varint skip_interval          -- skip-block geometry used at build
+///   byte lowercase, byte remove_stopwords, byte stem
+///   varint min_token_length
+///   varint dict_size, dict bytes
+///   varint num_lists, then per list:
+///     varint num_postings, varint doc_frequency, varint node_frequency
+///     postings delta+varint coded as (doc_delta, node_delta, pos_delta)
+///   varint num_documents, varint num_text_nodes
+/// Skip blocks and per-document boundary offsets are *derived* data:
+/// they are rebuilt from the decoded postings at load time using the
+/// skip_interval recorded in the header, so the posting encoding stays
+/// exactly as compact as version 1 (whose magic is still accepted).
 
 namespace tix::index {
 
@@ -37,7 +54,24 @@ inline bool PostingLess(const Posting& a, const Posting& b) {
   return a.word_pos < b.word_pos;
 }
 
+/// Every kSkipInterval postings, one skip entry records the first
+/// (doc, word_pos) of the block so merges can leap whole blocks.
+constexpr uint32_t kSkipInterval = 128;
+
+struct SkipEntry {
+  storage::DocId doc_id = 0;
+  uint32_t word_pos = 0;
+  /// Index of the block's first posting in `postings`.
+  uint32_t offset = 0;
+};
+
 /// All occurrences of one term plus its collection statistics.
+///
+/// `size()` / `empty()` intentionally report the raw posting vector; the
+/// skip blocks and doc offsets below are acceleration structures derived
+/// from it by BuildSkips() and carry no information of their own. Every
+/// accessor degrades to a plain binary/linear search when they are
+/// absent, so hand-built lists (tests, benches) need no extra setup.
 struct PostingList {
   std::vector<Posting> postings;
   /// Number of distinct documents containing the term.
@@ -45,8 +79,36 @@ struct PostingList {
   /// Number of distinct text nodes containing the term.
   uint32_t node_frequency = 0;
 
+  /// Block-level skip entries: one per kSkipInterval postings.
+  std::vector<SkipEntry> skips;
+  /// (doc_id, offset of the doc's first posting), one entry per distinct
+  /// document — makes doc-range partitioning an O(log n) slice.
+  std::vector<std::pair<storage::DocId, uint32_t>> doc_offsets;
+
   size_t size() const { return postings.size(); }
   bool empty() const { return postings.empty(); }
+
+  /// (Re)derives `skips` and `doc_offsets` from `postings`.
+  void BuildSkips();
+
+  /// Index of the first posting with doc_id >= doc. Uses `doc_offsets`
+  /// when built, else binary-searches the postings directly.
+  size_t LowerBoundDoc(storage::DocId doc) const;
+
+  /// First index >= `from` whose posting is at or beyond
+  /// (doc, word_pos), jumping over whole skip blocks. The returned index
+  /// is a *lower bound for the jump*: postings[result-1] (if any and
+  /// >= from) is strictly before the target, but the caller must still
+  /// step/verify from `result` (blocks are only block-aligned).
+  size_t SkipForward(size_t from, storage::DocId doc,
+                     uint32_t word_pos) const;
+
+  /// Validates the invariants every merge relies on: postings strictly
+  /// ascending by (doc_id, word_pos), node ids non-decreasing within a
+  /// document, and doc/node frequencies consistent with the postings.
+  /// Returns Corruption on violation so a bad on-disk index fails loudly
+  /// instead of silently mis-merging.
+  Status DebugCheckSorted() const;
 };
 
 struct IndexStats {
@@ -59,12 +121,24 @@ struct IndexStats {
 /// Memory-resident inverted index with on-disk persistence (delta +
 /// varint coded), in the tradition of IR engines: the dictionary and
 /// postings are loaded once and shared read-only by all queries.
+/// Lookup paths are const and safe to call from concurrent query
+/// threads; the instrumentation counter is atomic.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
   TIX_DISALLOW_COPY_AND_ASSIGN(InvertedIndex);
-  InvertedIndex(InvertedIndex&&) noexcept = default;
-  InvertedIndex& operator=(InvertedIndex&&) noexcept = default;
+  InvertedIndex(InvertedIndex&& other) noexcept { *this = std::move(other); }
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept {
+    if (this != &other) {
+      dictionary_ = std::move(other.dictionary_);
+      lists_ = std::move(other.lists_);
+      stats_ = other.stats_;
+      tokenizer_options_ = other.tokenizer_options_;
+      lookups_.store(other.lookups_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// Builds the index with one scan of the database's text nodes, using
   /// the database's tokenizer so index terms match load-time numbering.
@@ -93,8 +167,8 @@ class InvertedIndex {
                                                      uint64_t hi) const;
 
   /// Number of index lookups performed (instrumentation).
-  uint64_t lookups() const { return lookups_; }
-  void ResetCounters() { lookups_ = 0; }
+  uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  void ResetCounters() { lookups_.store(0, std::memory_order_relaxed); }
 
   Status SaveToFile(const std::string& path) const;
   static Result<InvertedIndex> LoadFromFile(const std::string& path);
@@ -104,7 +178,9 @@ class InvertedIndex {
   std::vector<PostingList> lists_;  // indexed by TermId
   IndexStats stats_;
   text::TokenizerOptions tokenizer_options_;
-  mutable uint64_t lookups_ = 0;
+  /// Atomic: concurrent TermJoin partitions look terms up through const
+  /// methods; a plain mutable counter would race.
+  mutable std::atomic<uint64_t> lookups_{0};
 };
 
 }  // namespace tix::index

@@ -9,6 +9,7 @@
 #include "algebra/reference_eval.h"
 #include "algebra/scoring.h"
 #include "common/string_util.h"
+#include "exec/parallel_term_join.h"
 #include "exec/pick_operator.h"
 #include "exec/structural_join.h"
 #include "exec/term_join.h"
@@ -190,9 +191,11 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
         algebra::IrPredicate::FooStyle(clause.primary, clause.desirable);
     TIX_ASSIGN_OR_RETURN(scorer, MakeScorerForClause(clause, predicate));
 
-    exec::TermJoinOptions join_options;
-    join_options.enhanced = options_.enhanced_term_join;
-    exec::TermJoin join(db_, index_, &predicate, scorer.get(), join_options);
+    exec::ParallelTermJoinOptions join_options;
+    join_options.join.enhanced = options_.enhanced_term_join;
+    join_options.num_threads = options_.num_threads;
+    exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
+                                join_options);
     TIX_ASSIGN_OR_RETURN(std::vector<exec::ScoredElement> all_scored,
                          join.Run());
     std::sort(all_scored.begin(), all_scored.end(), exec::DocumentOrderLess);
@@ -398,10 +401,11 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
         query.score->primary, query.score->desirable);
     TIX_ASSIGN_OR_RETURN(const std::unique_ptr<algebra::Scorer> scorer,
                          MakeScorerForClause(*query.score, predicate));
-    exec::TermJoinOptions term_join_options;
-    term_join_options.enhanced = options_.enhanced_term_join;
-    exec::TermJoin join(db_, index_, &predicate, scorer.get(),
-                        term_join_options);
+    exec::ParallelTermJoinOptions term_join_options;
+    term_join_options.join.enhanced = options_.enhanced_term_join;
+    term_join_options.num_threads = options_.num_threads;
+    exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
+                                term_join_options);
     TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> scored,
                          join.Run());
     output.stats.scored_elements = scored.size();

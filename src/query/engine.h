@@ -55,6 +55,9 @@ struct QueryOutput {
 struct EngineOptions {
   /// Use the Enhanced TermJoin (parent/child-count index).
   bool enhanced_term_join = false;
+  /// Worker threads for score generation (doc-partitioned parallel
+  /// TermJoin). 0 = serial, preserving the single-threaded behavior.
+  size_t num_threads = 0;
 };
 
 class QueryEngine {

@@ -55,6 +55,7 @@ BufferPool::~BufferPool() {
 
 Result<PageHandle> BufferPool::Fetch(PagedFile* file, PageNumber page_no) {
   TIX_DCHECK(file != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
   const uint64_t key = Key(file, page_no);
   auto it = page_table_.find(key);
   if (it != page_table_.end()) {
@@ -83,6 +84,7 @@ Result<PageHandle> BufferPool::Fetch(PagedFile* file, PageNumber page_no) {
 }
 
 void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& frame = frames_[frame_index];
   TIX_DCHECK(frame.pin_count > 0);
   if (--frame.pin_count == 0) {
@@ -123,6 +125,7 @@ Result<size_t> BufferPool::AcquireFrame() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (Frame& frame : frames_) {
     if (frame.in_use) TIX_RETURN_IF_ERROR(WriteBack(frame));
   }
@@ -130,6 +133,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictFile(PagedFile* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& frame = frames_[i];
     if (!frame.in_use || frame.file != file) continue;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -62,7 +63,13 @@ class PageHandle {
   size_t frame_index_ = 0;
 };
 
-/// Fixed-capacity page cache with LRU replacement. Single-threaded.
+/// Fixed-capacity page cache with LRU replacement. The metadata paths
+/// (Fetch / unpin / flush / evict) are serialized by an internal mutex,
+/// so concurrent readers — e.g. parallel TermJoin partitions fetching
+/// node records — are safe; page *contents* are protected by the pin:
+/// a frame is never stolen or rewritten while any handle pins it. Page
+/// mutation (MutableData) is only thread-safe when the caller
+/// serializes writers, which the single-threaded load path does.
 class BufferPool {
  public:
   /// `capacity_pages` frames are allocated eagerly.
@@ -106,8 +113,13 @@ class BufferPool {
   void Unpin(size_t frame_index);
   Status WriteBack(Frame& frame);
   /// Finds a victim frame: an unused frame, else LRU-evicts.
+  /// Caller holds mutex_.
   Result<size_t> AcquireFrame();
 
+  /// Serializes all metadata state below. frames_ itself never resizes
+  /// after construction, and a pinned frame's data is stable, so
+  /// PageHandle::data() needs no lock.
+  std::mutex mutex_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<uint64_t, size_t> page_table_;

@@ -27,7 +27,7 @@ Result<NodeRecord> NodeStore::Get(NodeId id) {
   if (id >= num_nodes_) {
     return Status::OutOfRange("node id out of range");
   }
-  ++record_fetches_;
+  record_fetches_.fetch_add(1, std::memory_order_relaxed);
   TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), PageOf(id)));
   return DecodeNodeRecord(page.data() + SlotOf(id));
 }

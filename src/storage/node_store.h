@@ -1,6 +1,7 @@
 #ifndef TIX_STORAGE_NODE_STORE_H_
 #define TIX_STORAGE_NODE_STORE_H_
 
+#include <atomic>
 #include <memory>
 
 #include "common/macros.h"
@@ -39,9 +40,13 @@ class NodeStore {
   uint64_t num_nodes() const { return num_nodes_; }
 
   /// Number of Get() calls since the last ResetCounters() — the "data
-  /// accesses" the paper's Enhanced TermJoin avoids.
-  uint64_t record_fetches() const { return record_fetches_; }
-  void ResetCounters() { record_fetches_ = 0; }
+  /// accesses" the paper's Enhanced TermJoin avoids. Atomic: Get() is
+  /// called concurrently by parallel TermJoin partitions, and a plain
+  /// mutable counter would race on the instrumentation.
+  uint64_t record_fetches() const {
+    return record_fetches_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() { record_fetches_.store(0, std::memory_order_relaxed); }
 
   PagedFile* file() { return file_.get(); }
   Status Flush() { return pool_->FlushAll(); }
@@ -57,7 +62,7 @@ class NodeStore {
   BufferPool* pool_;
   std::unique_ptr<PagedFile> file_;
   uint64_t num_nodes_;
-  uint64_t record_fetches_ = 0;
+  std::atomic<uint64_t> record_fetches_{0};
 };
 
 }  // namespace tix::storage

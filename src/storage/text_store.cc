@@ -38,7 +38,7 @@ Result<std::string> TextStore::Read(uint64_t offset, uint32_t length) {
   if (offset + length > size_bytes_) {
     return Status::OutOfRange("text store read past end");
   }
-  ++blob_reads_;
+  blob_reads_.fetch_add(1, std::memory_order_relaxed);
   std::string out;
   out.resize(length);
   uint64_t pos = offset;

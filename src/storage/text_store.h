@@ -1,6 +1,7 @@
 #ifndef TIX_STORAGE_TEXT_STORE_H_
 #define TIX_STORAGE_TEXT_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -31,8 +32,12 @@ class TextStore {
   Result<std::string> Read(uint64_t offset, uint32_t length);
 
   uint64_t size_bytes() const { return size_bytes_; }
-  uint64_t blob_reads() const { return blob_reads_; }
-  void ResetCounters() { blob_reads_ = 0; }
+  /// Atomic for the same reason as NodeStore::record_fetches: reads may
+  /// come from concurrent query threads.
+  uint64_t blob_reads() const {
+    return blob_reads_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() { blob_reads_.store(0, std::memory_order_relaxed); }
 
   PagedFile* file() { return file_.get(); }
 
@@ -40,7 +45,7 @@ class TextStore {
   BufferPool* pool_;
   std::unique_ptr<PagedFile> file_;
   uint64_t size_bytes_;
-  uint64_t blob_reads_ = 0;
+  std::atomic<uint64_t> blob_reads_{0};
 };
 
 }  // namespace tix::storage

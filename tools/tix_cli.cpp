@@ -4,8 +4,12 @@
 //   tix_cli index --db=DIR                           build + persist index
 //   tix_cli stats --db=DIR                           database/index stats
 //   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
-//   tix_cli query --db=DIR "FOR $a IN ... RETURN $a" run a query
+//   tix_cli query --db=DIR [--threads=N] "FOR $a IN ... RETURN $a"
+//                                                    run a query
 //   tix_cli path  --db=DIR "article//sec/p"          holistic path join
+//
+// --threads=N runs score generation (TermJoin) as N doc-partitioned
+// parallel merges; 0 (the default) is the serial single-pass merge.
 //
 // A typical session:
 //   tix_cli load  --db=/tmp/db docs/*.xml
@@ -35,6 +39,7 @@ struct Args {
   uint64_t min = 0;
   uint64_t max = UINT64_MAX;
   size_t limit = 10;
+  size_t threads = 0;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -50,6 +55,8 @@ Args ParseArgs(int argc, char** argv) {
       args.max = std::strtoull(arg.c_str() + 6, nullptr, 10);
     } else if (arg.rfind("--limit=", 0) == 0) {
       args.limit = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else {
       args.positional.push_back(arg);
     }
@@ -174,7 +181,9 @@ int CmdQuery(const Args& args) {
   auto db = Check(tix::storage::Database::Open(args.db_dir));
   auto index =
       Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
-  tix::query::QueryEngine engine(db.get(), &index);
+  tix::query::EngineOptions engine_options;
+  engine_options.num_threads = args.threads;
+  tix::query::QueryEngine engine(db.get(), &index, engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
   std::printf(
       "%zu results (anchors %llu, scored %llu)\n",
