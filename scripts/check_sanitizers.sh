@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under TSan and under
+# ASan+UBSan and runs them. The targets cover every code path where
+# threads share state: the doc-partitioned ParallelTermJoin and the
+# per-query metrics contexts (including the concurrent-query stats
+# regression in obs_test).
+#
+#   scripts/check_sanitizers.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGETS=(parallel_exec_test obs_test)
+FILTER="parallel_exec_test|obs_test"
+
+run_preset() {
+  local dir="$1" sanitize="$2"
+  echo "== ${sanitize} (${dir}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTIX_SANITIZE="${sanitize}" > /dev/null
+  cmake --build "${dir}" -j --target "${TARGETS[@]}"
+  (cd "${dir}" && ctest --output-on-failure -R "${FILTER}" "$@")
+}
+
+run_preset build-tsan thread "${@:1}"
+run_preset build-asan address,undefined "${@:1}"
+echo "sanitizer checks passed"

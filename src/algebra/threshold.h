@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 /// \file
@@ -27,11 +28,14 @@ struct ThresholdSpec {
 
 /// Reference implementation over materialized (score, payload) pairs:
 /// filters by V, then keeps the K best, returning payload indexes in
-/// descending score order (ties broken by original position, so the
-/// result is deterministic).
-template <typename GetScore>
+/// descending score order. `order_less(a, b)` breaks score ties — pass
+/// document order (as the physical ThresholdOperator uses for its heap
+/// eviction) so the survivors at the top-K boundary match the operator
+/// exactly.
+template <typename GetScore, typename OrderLess>
 std::vector<size_t> ApplyThreshold(size_t n, GetScore&& get_score,
-                                   const ThresholdSpec& spec) {
+                                   const ThresholdSpec& spec,
+                                   OrderLess&& order_less) {
   std::vector<size_t> kept;
   kept.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -39,13 +43,26 @@ std::vector<size_t> ApplyThreshold(size_t n, GetScore&& get_score,
     if (spec.min_score.has_value() && !(score > *spec.min_score)) continue;
     kept.push_back(i);
   }
-  std::stable_sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
-    return get_score(a) > get_score(b);
+  std::sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
+    const double score_a = get_score(a);
+    const double score_b = get_score(b);
+    if (score_a != score_b) return score_a > score_b;
+    return order_less(a, b);
   });
   if (spec.top_k.has_value() && kept.size() > *spec.top_k) {
     kept.resize(*spec.top_k);
   }
   return kept;
+}
+
+/// Convenience overload: ties broken by original position, which for
+/// inputs materialized in document order (every access method emits doc
+/// order) coincides with the document-order tie-break above.
+template <typename GetScore>
+std::vector<size_t> ApplyThreshold(size_t n, GetScore&& get_score,
+                                   const ThresholdSpec& spec) {
+  return ApplyThreshold(n, std::forward<GetScore>(get_score), spec,
+                        [](size_t a, size_t b) { return a < b; });
 }
 
 }  // namespace tix::algebra

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "exec/occurrence_stream.h"
 
 namespace tix::exec {
@@ -112,7 +113,10 @@ Comp1::Comp1(storage::Database* db, const index::InvertedIndex* index,
     : db_(db), index_(index), predicate_(predicate), scorer_(scorer) {}
 
 Result<std::vector<ScoredElement>> Comp1::Run() {
-  const uint64_t fetches_before = db_->node_store().record_fetches();
+  // Count this run's own storage work (rolled up into any enclosing
+  // query context) instead of diffing the cross-query global counter.
+  obs::MetricsContext local(obs::CurrentMetrics());
+  const obs::ScopedMetrics scope(&local);
   const bool complex = scorer_->is_complex();
   const size_t num_phrases = predicate_->num_phrases();
   std::vector<std::unique_ptr<OccurrenceStream>> streams =
@@ -208,7 +212,7 @@ Result<std::vector<ScoredElement>> Comp1::Run() {
       std::vector<ScoredElement> out,
       ScoreMerged(db_, *scorer_, merged, occurrence_text_nodes));
   stats_.outputs = out.size();
-  stats_.record_fetches = db_->node_store().record_fetches() - fetches_before;
+  stats_.record_fetches = local.value(obs::Counter::kRecordFetches);
   return out;
 }
 
@@ -218,7 +222,8 @@ Comp2::Comp2(storage::Database* db, const index::InvertedIndex* index,
     : db_(db), index_(index), predicate_(predicate), scorer_(scorer) {}
 
 Result<std::vector<ScoredElement>> Comp2::Run() {
-  const uint64_t fetches_before = db_->node_store().record_fetches();
+  obs::MetricsContext local(obs::CurrentMetrics());
+  const obs::ScopedMetrics scope(&local);
   const bool complex = scorer_->is_complex();
   const size_t num_phrases = predicate_->num_phrases();
   std::vector<std::unique_ptr<OccurrenceStream>> streams =
@@ -352,7 +357,7 @@ Result<std::vector<ScoredElement>> Comp2::Run() {
       std::vector<ScoredElement> out,
       ScoreMerged(db_, *scorer_, merged, occurrence_text_nodes));
   stats_.outputs = out.size();
-  stats_.record_fetches = db_->node_store().record_fetches() - fetches_before;
+  stats_.record_fetches = local.value(obs::Counter::kRecordFetches);
   return out;
 }
 

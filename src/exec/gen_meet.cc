@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "exec/occurrence_stream.h"
 
 namespace tix::exec {
@@ -32,7 +33,8 @@ GeneralizedMeet::GeneralizedMeet(storage::Database* db,
     : db_(db), index_(index), predicate_(predicate), scorer_(scorer) {}
 
 Result<std::vector<ScoredElement>> GeneralizedMeet::Run() {
-  const uint64_t fetches_before = db_->node_store().record_fetches();
+  obs::MetricsContext local(obs::CurrentMetrics());
+  const obs::ScopedMetrics scope(&local);
   const bool complex = scorer_->is_complex();
   const size_t num_phrases = predicate_->num_phrases();
   std::vector<std::unique_ptr<OccurrenceStream>> streams =
@@ -140,8 +142,7 @@ Result<std::vector<ScoredElement>> GeneralizedMeet::Run() {
             [](const ScoredElement& a, const ScoredElement& b) {
               return a.node < b.node;
             });
-  stats_.record_fetches =
-      db_->node_store().record_fetches() - fetches_before;
+  stats_.record_fetches = local.value(obs::Counter::kRecordFetches);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "common/obs.h"
 #include "common/thread_pool.h"
 
 namespace tix::exec {
@@ -84,6 +85,7 @@ ParallelTermJoin::ParallelTermJoin(storage::Database* db,
 Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
   stats_ = TermJoinStats();
   partitions_.clear();
+  partition_stats_.clear();
 
   const size_t num_partitions =
       options_.num_partitions != 0
@@ -101,13 +103,18 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
       static_cast<storage::DocId>(db_->documents().size());
   partitions_ = PlanDocPartitions(*index_, *predicate_, num_docs,
                                   num_partitions);
-  const uint64_t fetches_before = db_->node_store().record_fetches();
+  // Pool workers start with no thread-local metrics context; install the
+  // caller's (the query's) inside each task so per-partition TermJoin
+  // contexts parent to it and the query totals roll up across threads.
+  obs::MetricsContext* const ambient = obs::CurrentMetrics();
 
   struct PartitionOutput {
     std::vector<ScoredElement> elements;
     TermJoinStats stats;
   };
-  auto run_partition = [this](DocRange range) -> Result<PartitionOutput> {
+  auto run_partition = [this,
+                        ambient](DocRange range) -> Result<PartitionOutput> {
+    const obs::ScopedMetrics scope(ambient);
     TermJoinOptions join_options = options_.join;
     join_options.range = range;
     TermJoin join(db_, index_, predicate_, scorer_, join_options);
@@ -144,6 +151,7 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
     total_elements += output.value().elements.size();
   }
   merged.reserve(total_elements);
+  partition_stats_.reserve(outputs.size());
   for (Result<PartitionOutput>& output : outputs) {
     PartitionOutput part = std::move(output).value();
     merged.insert(merged.end(),
@@ -154,10 +162,12 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
     stats_.outputs += part.stats.outputs;
     stats_.max_stack_depth =
         std::max(stats_.max_stack_depth, part.stats.max_stack_depth);
+    // Each partition counted its own fetches through a join-local
+    // context, so the sum is exact regardless of what else was running.
+    stats_.record_fetches += part.stats.record_fetches;
+    stats_.index_lookups += part.stats.index_lookups;
+    partition_stats_.push_back(part.stats);
   }
-  // Per-partition fetch deltas overlap under concurrency; the global
-  // delta over the whole run is the meaningful figure.
-  stats_.record_fetches = db_->node_store().record_fetches() - fetches_before;
   return merged;
 }
 

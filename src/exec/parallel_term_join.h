@@ -56,12 +56,21 @@ class ParallelTermJoin {
   Result<std::vector<ScoredElement>> Run();
 
   /// Merged statistics: sums over partitions, except max_stack_depth
-  /// (max) and record_fetches (global node-store delta across the whole
-  /// run — per-partition deltas are meaningless under concurrency).
+  /// (max). record_fetches is the sum of the partitions' context-local
+  /// counts — exact even when other queries run concurrently, because
+  /// each partition charges its own obs::MetricsContext rather than
+  /// diffing the process-global counter.
   const TermJoinStats& stats() const { return stats_; }
 
   /// Partition plan used by the last Run() (empty for the serial path).
   const std::vector<DocRange>& partitions() const { return partitions_; }
+
+  /// Per-partition statistics from the last Run(), parallel to
+  /// partitions() (empty for the serial path). Feeds the per-partition
+  /// children of the EXPLAIN ANALYZE tree.
+  const std::vector<TermJoinStats>& partition_stats() const {
+    return partition_stats_;
+  }
 
  private:
   storage::Database* db_;
@@ -70,6 +79,7 @@ class ParallelTermJoin {
   const algebra::Scorer* scorer_;
   ParallelTermJoinOptions options_;
   std::vector<DocRange> partitions_;
+  std::vector<TermJoinStats> partition_stats_;
   TermJoinStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "exec/occurrence_stream.h"
 #include "text/tokenizer.h"
 
@@ -10,14 +11,15 @@ namespace tix::exec {
 
 PhraseFinderQuery::PhraseFinderQuery(storage::Database* db,
                                      const index::InvertedIndex* index,
-                                     std::vector<std::string> terms)
-    : db_(db), index_(index), terms_(std::move(terms)) {}
+                                     std::vector<std::string> terms,
+                                     DocRange range)
+    : db_(db), index_(index), terms_(std::move(terms)), range_(range) {}
 
 Result<std::vector<PhraseResult>> PhraseFinderQuery::Run() {
   std::vector<const index::PostingList*> lists;
   lists.reserve(terms_.size());
   for (const std::string& term : terms_) lists.push_back(index_->Lookup(term));
-  PhraseFinderStream stream(std::move(lists));
+  PhraseFinderStream stream(std::move(lists), /*galloping=*/false, range_);
 
   std::vector<PhraseResult> out;
   while (auto occurrence = stream.Peek()) {
@@ -38,7 +40,10 @@ Comp3::Comp3(storage::Database* db, const index::InvertedIndex* index,
     : db_(db), index_(index), terms_(std::move(terms)) {}
 
 Result<std::vector<PhraseResult>> Comp3::Run() {
-  const uint64_t fetches_before = db_->node_store().record_fetches();
+  // Per-run context: exact under concurrent queries, unlike the old
+  // global-counter delta.
+  obs::MetricsContext local(obs::CurrentMetrics());
+  const obs::ScopedMetrics scope(&local);
   // Step 1: index access per term, materializing the distinct text-node
   // id list of each.
   std::vector<std::vector<storage::NodeId>> node_lists(terms_.size());
@@ -101,7 +106,7 @@ Result<std::vector<PhraseResult>> Comp3::Run() {
     }
   }
   stats_.outputs = out.size();
-  stats_.record_fetches = db_->node_store().record_fetches() - fetches_before;
+  stats_.record_fetches = local.value(obs::Counter::kRecordFetches);
   return out;
 }
 

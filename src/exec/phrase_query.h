@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/occurrence_stream.h"
 #include "index/inverted_index.h"
 #include "storage/database.h"
 
@@ -39,8 +40,11 @@ struct PhraseQueryStats {
 /// intersection; no stored text is touched.
 class PhraseFinderQuery {
  public:
+  /// `range` restricts matching to documents in [range.begin,
+  /// range.end); the underlying stream seeks via the posting lists'
+  /// doc-offset tables, so a mid-list start does not scan the prefix.
   PhraseFinderQuery(storage::Database* db, const index::InvertedIndex* index,
-                    std::vector<std::string> terms);
+                    std::vector<std::string> terms, DocRange range = {});
 
   Result<std::vector<PhraseResult>> Run();
   const PhraseQueryStats& stats() const { return stats_; }
@@ -49,6 +53,7 @@ class PhraseFinderQuery {
   storage::Database* db_;
   const index::InvertedIndex* index_;
   std::vector<std::string> terms_;
+  DocRange range_;
   PhraseQueryStats stats_;
 };
 

@@ -134,12 +134,17 @@ Status TermJoin::Open() {
   if (open_) return Status::Internal("TermJoin opened twice");
   open_ = true;
   input_done_ = false;
-  fetches_at_open_ = db_->node_store().record_fetches();
+  metrics_.set_parent(obs::CurrentMetrics());
+  const obs::ScopedMetrics scope(&metrics_);
   streams_ = MakeOccurrenceStreams(*index_, *predicate_, options_.range);
   return Status::OK();
 }
 
 Status TermJoin::Pump() {
+  // Every record fetch of the merge happens below (PushAncestors and
+  // the child-count navigation in PopAndEmit), so installing the
+  // join-local context here charges exactly this join's work.
+  const obs::ScopedMetrics scope(&metrics_);
   while (pending_.empty() && !input_done_) {
     // t-min: the stream with the smallest (doc, word_pos) head.
     int min_stream = -1;
@@ -161,7 +166,8 @@ Status TermJoin::Pump() {
         TIX_RETURN_IF_ERROR(PopAndEmit());
       }
       stats_.record_fetches =
-          db_->node_store().record_fetches() - fetches_at_open_;
+          metrics_.value(obs::Counter::kRecordFetches);
+      stats_.index_lookups = metrics_.value(obs::Counter::kIndexLookups);
       break;
     }
     streams_[static_cast<size_t>(min_stream)]->Advance();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/scoring.h"
+#include "common/obs.h"
 #include "common/result.h"
 #include "exec/occurrence_stream.h"
 #include "exec/scored_element.h"
@@ -43,8 +44,12 @@ struct TermJoinStats {
   uint64_t stack_pushes = 0;
   uint64_t max_stack_depth = 0;
   uint64_t outputs = 0;
-  /// Node-record fetches attributable to this run.
+  /// Node-record fetches attributable to this run. Counted through a
+  /// join-local obs::MetricsContext, so the figure is exact even when
+  /// other queries (or sibling partitions) run concurrently.
   uint64_t record_fetches = 0;
+  /// Inverted-index lookups issued when opening the streams.
+  uint64_t index_lookups = 0;
 };
 
 class TermJoin {
@@ -105,7 +110,10 @@ class TermJoin {
   std::deque<ScoredElement> pending_;
   bool open_ = false;
   bool input_done_ = false;
-  uint64_t fetches_at_open_ = 0;
+  /// Charged for all storage/index work between Open and exhaustion.
+  /// Parented to the context current at Open so per-query totals still
+  /// roll up.
+  obs::MetricsContext metrics_;
   TermJoinStats stats_;
 };
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/varint.h"
 
 namespace tix::index {
@@ -155,6 +156,7 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
 
 const PostingList* InvertedIndex::Lookup(std::string_view term) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kIndexLookups);
   const text::Tokenizer tokenizer(tokenizer_options_);
   const std::string normalized = tokenizer.Normalize(term);
   const text::TermId id = dictionary_.Lookup(normalized);
@@ -164,6 +166,7 @@ const PostingList* InvertedIndex::Lookup(std::string_view term) const {
 
 const PostingList* InvertedIndex::LookupId(text::TermId id) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kIndexLookups);
   if (id >= lists_.size()) return nullptr;
   return &lists_[id];
 }

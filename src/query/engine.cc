@@ -9,6 +9,7 @@
 #include "algebra/reference_eval.h"
 #include "algebra/scoring.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "exec/parallel_term_join.h"
 #include "exec/pick_operator.h"
 #include "exec/structural_join.h"
@@ -98,6 +99,34 @@ Result<std::vector<exec::ScoredElement>> ToElements(
   return out;
 }
 
+/// Copies a ParallelTermJoin's merged and per-partition statistics onto
+/// its EXPLAIN span (no-op when the span is disabled).
+void AttachTermJoinStats(obs::OperatorSpan* span,
+                         const exec::ParallelTermJoin& join) {
+  obs::OperatorMetrics* node = span->mutable_node();
+  if (node == nullptr) return;
+  const exec::TermJoinStats& stats = join.stats();
+  node->SetCounter("occurrences", stats.occurrences);
+  node->SetCounter("stack_pushes", stats.stack_pushes);
+  node->SetCounter("max_stack_depth", stats.max_stack_depth);
+  const std::vector<exec::DocRange>& partitions = join.partitions();
+  const std::vector<exec::TermJoinStats>& partition_stats =
+      join.partition_stats();
+  for (size_t i = 0;
+       i < partition_stats.size() && i < partitions.size(); ++i) {
+    obs::OperatorMetrics child;
+    child.name = "TermJoin";
+    child.detail = StrFormat("partition %zu: docs [%u, %u)", i,
+                             partitions[i].begin, partitions[i].end);
+    child.rows = partition_stats[i].outputs;
+    child.SetCounter(obs::CounterName(obs::Counter::kRecordFetches),
+                     partition_stats[i].record_fetches);
+    child.SetCounter("occurrences", partition_stats[i].occurrences);
+    child.SetCounter("stack_pushes", partition_stats[i].stack_pushes);
+    node->AddChild(std::move(child));
+  }
+}
+
 }  // namespace
 
 Result<QueryOutput> QueryEngine::ExecuteText(std::string_view text) {
@@ -144,7 +173,40 @@ Result<std::unique_ptr<algebra::Scorer>> QueryEngine::MakeScorerForClause(
 }
 
 Result<QueryOutput> QueryEngine::Execute(const Query& query) {
-  if (query.simjoin.has_value()) return ExecuteJoin(query);
+  if (!options_.collect_metrics) {
+    // No plan tree: every OperatorSpan below is a disabled no-op and no
+    // metrics context is installed, so the hot path only pays the null
+    // thread-local check inside obs::Count.
+    if (query.simjoin.has_value()) return ExecuteJoin(query, nullptr);
+    return ExecuteSelect(query, nullptr);
+  }
+  obs::OperatorMetrics root;
+  root.name = "Query";
+  root.detail = query.simjoin.has_value() ? "similarity join" : "select";
+  obs::MetricsContext query_metrics;
+  WallTimer timer;
+  Result<QueryOutput> result = [&]() -> Result<QueryOutput> {
+    // Installing the query context here makes every storage access of
+    // this query — including ones outside any operator span — charge
+    // the query, and only this query.
+    const obs::ScopedMetrics scope(&query_metrics);
+    return query.simjoin.has_value() ? ExecuteJoin(query, &root)
+                                     : ExecuteSelect(query, &root);
+  }();
+  if (!result.ok()) return result;
+  root.seconds = timer.ElapsedSeconds();
+  root.rows = result.value().stats.returned;
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const obs::Counter counter = static_cast<obs::Counter>(i);
+    const uint64_t value = query_metrics.value(counter);
+    if (value != 0) root.SetCounter(obs::CounterName(counter), value);
+  }
+  result.value().plan = std::move(root);
+  return result;
+}
+
+Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
+                                               obs::OperatorMetrics* plan) {
   QueryOutput output;
   TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
                        db_->GetDocumentByName(query.path.document));
@@ -154,33 +216,39 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
 
   // ---- Anchors: the structural part (every step but the last). -------
   std::vector<storage::NodeId> anchor_nodes;
-  if (steps.size() == 1) {
-    anchor_nodes.push_back(doc.root);
-  } else {
-    std::vector<int> step_labels;
-    TIX_ASSIGN_OR_RETURN(
-        const algebra::ScoredPatternTree anchor_pattern,
-        BuildPattern(steps, steps.size() - 1, &step_labels));
-    TIX_ASSIGN_OR_RETURN(const std::vector<algebra::Embedding> embeddings,
-                         algebra::MatchPattern(db_, anchor_pattern));
-    const int anchor_label = step_labels.back();
-    std::unordered_set<storage::NodeId> distinct;
-    for (const algebra::Embedding& embedding : embeddings) {
-      for (const auto& [label, node] : embedding) {
-        if (label == anchor_label) {
-          TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
-                               db_->GetNode(node));
-          if (record.doc_id == doc.doc_id) distinct.insert(node);
+  std::vector<exec::ScoredElement> anchors;
+  {
+    obs::OperatorSpan span(plan, "StructuralMatch",
+                           steps.size() == 1 ? "document root"
+                                             : "anchor pattern");
+    if (steps.size() == 1) {
+      anchor_nodes.push_back(doc.root);
+    } else {
+      std::vector<int> step_labels;
+      TIX_ASSIGN_OR_RETURN(
+          const algebra::ScoredPatternTree anchor_pattern,
+          BuildPattern(steps, steps.size() - 1, &step_labels));
+      TIX_ASSIGN_OR_RETURN(const std::vector<algebra::Embedding> embeddings,
+                           algebra::MatchPattern(db_, anchor_pattern));
+      const int anchor_label = step_labels.back();
+      std::unordered_set<storage::NodeId> distinct;
+      for (const algebra::Embedding& embedding : embeddings) {
+        for (const auto& [label, node] : embedding) {
+          if (label == anchor_label) {
+            TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                                 db_->GetNode(node));
+            if (record.doc_id == doc.doc_id) distinct.insert(node);
+          }
         }
       }
+      anchor_nodes.assign(distinct.begin(), distinct.end());
+      std::sort(anchor_nodes.begin(), anchor_nodes.end());
     }
-    anchor_nodes.assign(distinct.begin(), distinct.end());
-    std::sort(anchor_nodes.begin(), anchor_nodes.end());
+    output.stats.anchors = anchor_nodes.size();
+    span.set_rows(anchor_nodes.size());
+    if (anchor_nodes.empty()) return output;
+    TIX_ASSIGN_OR_RETURN(anchors, ToElements(db_, anchor_nodes));
   }
-  output.stats.anchors = anchor_nodes.size();
-  if (anchor_nodes.empty()) return output;
-  TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> anchors,
-                       ToElements(db_, anchor_nodes));
 
   // ---- Score generation (TermJoin) or pure structural matching. ------
   std::vector<exec::ScoredElement> scored;
@@ -191,17 +259,30 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
         algebra::IrPredicate::FooStyle(clause.primary, clause.desirable);
     TIX_ASSIGN_OR_RETURN(scorer, MakeScorerForClause(clause, predicate));
 
-    exec::ParallelTermJoinOptions join_options;
-    join_options.join.enhanced = options_.enhanced_term_join;
-    join_options.num_threads = options_.num_threads;
-    exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
-                                join_options);
-    TIX_ASSIGN_OR_RETURN(std::vector<exec::ScoredElement> all_scored,
-                         join.Run());
+    std::vector<exec::ScoredElement> all_scored;
+    {
+      std::string detail = options_.enhanced_term_join ? "enhanced" : "plain";
+      if (options_.num_threads > 0) {
+        detail += StrFormat(", threads=%zu", options_.num_threads);
+      }
+      obs::OperatorSpan span(
+          plan, options_.num_threads > 0 ? "ParallelTermJoin" : "TermJoin",
+          std::move(detail));
+      exec::ParallelTermJoinOptions join_options;
+      join_options.join.enhanced = options_.enhanced_term_join;
+      join_options.num_threads = options_.num_threads;
+      exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
+                                  join_options);
+      TIX_ASSIGN_OR_RETURN(all_scored, join.Run());
+      span.set_rows(all_scored.size());
+      AttachTermJoinStats(&span, join);
+    }
     std::sort(all_scored.begin(), all_scored.end(), exec::DocumentOrderLess);
 
     // Scope to the anchors; `*` targets use descendant-or-self (the
     // paper's ad* edge), named targets plain descendant/child.
+    obs::OperatorSpan span(plan, "Scope",
+                           "anchor semi-join + target filters");
     const bool or_self = target_step.name == "*";
     std::vector<exec::ScoredElement> scoped =
         exec::SemiJoinDescendants(all_scored, anchors, or_self);
@@ -222,8 +303,10 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
       }
       scored.push_back(std::move(element));
     }
+    span.set_rows(scored.size());
   } else {
     // Boolean query: match the full pattern and return target bindings.
+    obs::OperatorSpan span(plan, "StructuralMatch", "full pattern");
     std::vector<int> step_labels;
     TIX_ASSIGN_OR_RETURN(const algebra::ScoredPatternTree full_pattern,
                          BuildPattern(steps, steps.size(), &step_labels));
@@ -243,11 +326,13 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
     std::vector<storage::NodeId> nodes(distinct.begin(), distinct.end());
     std::sort(nodes.begin(), nodes.end());
     TIX_ASSIGN_OR_RETURN(scored, ToElements(db_, nodes));
+    span.set_rows(scored.size());
   }
   output.stats.scored_elements = scored.size();
 
   // ---- Pick: granularity selection per anchor. ------------------------
   if (query.pick.has_value() && !scored.empty()) {
+    obs::OperatorSpan span(plan, "Pick", query.pick->criterion);
     std::unique_ptr<algebra::PickCriterion> criterion;
     if (query.pick->criterion == "parity") {
       criterion = std::make_unique<algebra::LevelParityPickCriterion>(
@@ -311,6 +396,7 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
     }
     scored = std::move(filtered);
     output.stats.picked = scored.size();
+    span.set_rows(scored.size());
   }
 
   // ---- Threshold / top-K. ---------------------------------------------
@@ -319,18 +405,34 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
     spec.min_score = query.threshold->min_score;
     spec.top_k = query.threshold->top_k;
   }
-  exec::ThresholdOperator threshold(spec);
-  for (exec::ScoredElement& element : scored) {
-    threshold.Push(std::move(element));
-  }
-  for (const exec::ScoredElement& element : threshold.Finish()) {
-    output.results.push_back(QueryResultItem{element.node, element.score});
+  {
+    std::string detail;
+    if (spec.min_score.has_value()) {
+      detail += "min_score=" + FormatDouble(*spec.min_score, 2);
+    }
+    if (spec.top_k.has_value()) {
+      if (!detail.empty()) detail += ", ";
+      detail += StrFormat("top_k=%zu", *spec.top_k);
+    }
+    if (detail.empty()) detail = "pass-through";
+    obs::OperatorSpan span(plan, "Threshold", std::move(detail));
+    exec::ThresholdOperator threshold(spec);
+    for (exec::ScoredElement& element : scored) {
+      threshold.Push(std::move(element));
+    }
+    for (const exec::ScoredElement& element : threshold.Finish()) {
+      output.results.push_back(QueryResultItem{element.node, element.score});
+    }
+    span.set_rows(output.results.size());
+    span.SetCounter("pushed", threshold.pushed());
+    span.SetCounter("dropped_by_score", threshold.dropped_by_score());
   }
   output.stats.returned = output.results.size();
   return output;
 }
 
-Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
+Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
+                                             obs::OperatorMetrics* plan) {
   QueryOutput output;
   const SimJoinClause& simjoin = *query.simjoin;
 
@@ -359,14 +461,21 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
     std::sort(out.begin(), out.end());
     return out;
   };
-  TIX_ASSIGN_OR_RETURN(const std::vector<storage::NodeId> left_anchors,
-                       bindings(query.path));
-  TIX_ASSIGN_OR_RETURN(const std::vector<storage::NodeId> right_anchors,
-                       bindings(*query.path2));
-  output.stats.anchors = left_anchors.size() + right_anchors.size();
+  std::vector<storage::NodeId> left_anchors;
+  std::vector<storage::NodeId> right_anchors;
+  {
+    obs::OperatorSpan span(plan, "StructuralMatch", "join bindings");
+    TIX_ASSIGN_OR_RETURN(left_anchors, bindings(query.path));
+    TIX_ASSIGN_OR_RETURN(right_anchors, bindings(*query.path2));
+    output.stats.anchors = left_anchors.size() + right_anchors.size();
+    span.set_rows(output.stats.anchors);
+  }
   if (left_anchors.empty() || right_anchors.empty()) return output;
 
   // Similarity join on the designated descendant elements.
+  obs::OperatorSpan simjoin_span(
+      plan, "SimilarityJoin",
+      simjoin.left_tag + " ~ " + simjoin.right_tag);
   TIX_ASSIGN_OR_RETURN(
       const std::vector<storage::NodeId> left_keys,
       FirstDescendantWithTag(db_, left_anchors, simjoin.left_tag));
@@ -393,10 +502,19 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
   TIX_ASSIGN_OR_RETURN(
       const std::vector<SimilarityPair> sim_pairs,
       SimilarityJoin(db_, left_present, right_present, join_options));
+  simjoin_span.set_rows(sim_pairs.size());
+  simjoin_span.Finish();
 
   // Best IR component score per left anchor (Query 3's $d/@score).
   std::unordered_map<storage::NodeId, double> ir_score;
   if (query.score.has_value()) {
+    std::string detail = options_.enhanced_term_join ? "enhanced" : "plain";
+    if (options_.num_threads > 0) {
+      detail += StrFormat(", threads=%zu", options_.num_threads);
+    }
+    obs::OperatorSpan span(
+        plan, options_.num_threads > 0 ? "ParallelTermJoin" : "TermJoin",
+        std::move(detail));
     algebra::IrPredicate predicate = algebra::IrPredicate::FooStyle(
         query.score->primary, query.score->desirable);
     TIX_ASSIGN_OR_RETURN(const std::unique_ptr<algebra::Scorer> scorer,
@@ -409,6 +527,8 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
     TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> scored,
                          join.Run());
     output.stats.scored_elements = scored.size();
+    span.set_rows(scored.size());
+    AttachTermJoinStats(&span, join);
     for (const storage::NodeId anchor : left_anchors) {
       TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
                            db_->GetNode(anchor));
@@ -424,6 +544,7 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
   }
 
   // Combine, threshold, sort.
+  obs::OperatorSpan combine_span(plan, "Threshold", "combine + threshold");
   std::vector<QueryPairResult> pairs;
   for (const SimilarityPair& pair : sim_pairs) {
     QueryPairResult result;
@@ -461,6 +582,7 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query) {
   }
   output.pairs = std::move(pairs);
   output.stats.returned = output.results.size();
+  combine_span.set_rows(output.results.size());
   return output;
 }
 

@@ -2,10 +2,12 @@
 #define TIX_QUERY_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algebra/scoring.h"
+#include "common/obs.h"
 #include "common/result.h"
 #include "index/inverted_index.h"
 #include "query/ast.h"
@@ -50,6 +52,10 @@ struct QueryOutput {
   /// pairs[i].left, results[i].score == pairs[i].combined).
   std::vector<QueryPairResult> pairs;
   QueryStats stats;
+  /// EXPLAIN ANALYZE tree, present when EngineOptions::collect_metrics
+  /// is set: per-operator wall time, cardinalities and storage counters
+  /// (render with obs::RenderText / obs::RenderJson).
+  std::optional<obs::OperatorMetrics> plan;
 };
 
 struct EngineOptions {
@@ -58,6 +64,11 @@ struct EngineOptions {
   /// Worker threads for score generation (doc-partitioned parallel
   /// TermJoin). 0 = serial, preserving the single-threaded behavior.
   size_t num_threads = 0;
+  /// Collect the per-operator EXPLAIN ANALYZE tree into
+  /// QueryOutput::plan. Off by default: results and QueryStats are
+  /// identical either way; only the plan tree (and its small timing
+  /// overhead) is gated.
+  bool collect_metrics = false;
 };
 
 class QueryEngine {
@@ -77,7 +88,12 @@ class QueryEngine {
                                 size_t limit = 10) const;
 
  private:
-  Result<QueryOutput> ExecuteJoin(const Query& query);
+  /// `plan` is the EXPLAIN tree to append operator nodes to; nullptr
+  /// disables collection (every OperatorSpan becomes a no-op).
+  Result<QueryOutput> ExecuteSelect(const Query& query,
+                                    obs::OperatorMetrics* plan);
+  Result<QueryOutput> ExecuteJoin(const Query& query,
+                                  obs::OperatorMetrics* plan);
   Result<std::unique_ptr<algebra::Scorer>> MakeScorerForClause(
       const ScoreClause& clause, const algebra::IrPredicate& predicate) const;
 

@@ -136,11 +136,13 @@ Result<DocId> Database::AddDocument(const xml::XmlDocument& document) {
       record.kind = NodeKind::kText;
       record.tag_id = 0;
       record.start = counter;
-      const std::vector<text::Token> tokens = tokenizer_.Tokenize(node.text());
       // Raw positions (before stopword removal) define how much interval
-      // space the text node occupies, so phrase offsets are stable.
+      // space the text node occupies, so phrase offsets are stable. The
+      // tokenizer reports the raw count directly: deriving it from the
+      // last *kept* token undercounts stopword-tailed text and yields 0
+      // for stopword-only text.
       uint32_t raw_count = 0;
-      if (!tokens.empty()) raw_count = tokens.back().position + 1;
+      tokenizer_.Tokenize(node.text(), &raw_count);
       record.num_words = raw_count;
       record.end = record.start + raw_count;
       counter = record.end + 1;

@@ -1,6 +1,7 @@
 #include "storage/node_store.h"
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace tix::storage {
 
@@ -28,6 +29,7 @@ Result<NodeRecord> NodeStore::Get(NodeId id) {
     return Status::OutOfRange("node id out of range");
   }
   record_fetches_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kRecordFetches);
   TIX_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(file_.get(), PageOf(id)));
   return DecodeNodeRecord(page.data() + SlotOf(id));
 }

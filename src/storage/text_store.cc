@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace tix::storage {
 
@@ -39,6 +40,8 @@ Result<std::string> TextStore::Read(uint64_t offset, uint32_t length) {
     return Status::OutOfRange("text store read past end");
   }
   blob_reads_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kBlobReads);
+  obs::Count(obs::Counter::kTextBytesRead, length);
   std::string out;
   out.resize(length);
   uint64_t pos = offset;

@@ -93,7 +93,8 @@ std::string StemWord(std::string_view word) {
   return w;
 }
 
-std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
+std::vector<Token> Tokenizer::Tokenize(std::string_view text,
+                                       uint32_t* raw_positions) const {
   std::vector<Token> out;
   uint32_t position = 0;
   size_t i = 0;
@@ -120,6 +121,7 @@ std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
     if (term.size() < options_.min_token_length) continue;
     out.push_back(Token{std::move(term), this_position});
   }
+  if (raw_positions != nullptr) *raw_positions = position;
   return out;
 }
 

@@ -40,8 +40,12 @@ class Tokenizer {
 
   /// Splits `text` into terms. Positions count *all* emitted tokens;
   /// stopword removal leaves holes in the position sequence so phrase
-  /// offsets stay truthful.
-  std::vector<Token> Tokenize(std::string_view text) const;
+  /// offsets stay truthful. When `raw_positions` is non-null it receives
+  /// the total number of raw word positions — including trailing
+  /// dropped tokens, which `tokens.back().position + 1` misses (and a
+  /// stopword-only text has no kept token at all).
+  std::vector<Token> Tokenize(std::string_view text,
+                              uint32_t* raw_positions = nullptr) const;
 
   /// Tokenizes and returns just the terms (positions discarded).
   std::vector<std::string> TokenizeToTerms(std::string_view text) const;

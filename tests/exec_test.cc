@@ -17,6 +17,7 @@
 #include "exec/threshold_operator.h"
 #include "index/inverted_index.h"
 #include "tests/test_util.h"
+#include "xml/parser.h"
 #include "workload/corpus.h"
 #include "workload/paper_example.h"
 
@@ -279,6 +280,78 @@ TEST_F(PaperExampleExec, PhraseFinderMatchesComp3) {
   }
 }
 
+TEST_F(PaperExampleExec, PhraseFinderQueryUnknownTerm) {
+  // Any unknown term (nullptr posting list) makes the phrase empty,
+  // whatever its position in the phrase.
+  PhraseFinderQuery tail(db_.get(), index_.get(), {"search", "zzzmissing"});
+  EXPECT_TRUE(Unwrap(tail.Run()).empty());
+  PhraseFinderQuery head(db_.get(), index_.get(), {"zzzmissing", "engine"});
+  EXPECT_TRUE(Unwrap(head.Run()).empty());
+  PhraseFinderQuery alone(db_.get(), index_.get(), {"zzzmissing"});
+  EXPECT_TRUE(Unwrap(alone.Run()).empty());
+}
+
+TEST_F(PaperExampleExec, PhraseFinderQuerySingleTerm) {
+  // A one-word "phrase" degenerates to the term's posting list, grouped
+  // by text node.
+  PhraseFinderQuery finder(db_.get(), index_.get(), {"search"});
+  const auto out = Unwrap(finder.Run());
+  const index::PostingList* list = index_->Lookup("search");
+  ASSERT_NE(list, nullptr);
+  uint64_t total = 0;
+  for (const PhraseResult& result : out) total += result.count;
+  EXPECT_EQ(total, list->postings.size());
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].text_node, out[i].text_node);
+  }
+}
+
+TEST_F(PaperExampleExec, PhraseFinderQueryDocRangeMidList) {
+  // A range starting past the first document must yield exactly the
+  // full run's tail — the stream seeks into the posting lists rather
+  // than scanning from the front.
+  for (const auto& phrase : {std::vector<std::string>{"search", "engine"},
+                             std::vector<std::string>{"the"}}) {
+    PhraseFinderQuery full(db_.get(), index_.get(), phrase);
+    std::vector<PhraseResult> expected;
+    for (const PhraseResult& result : Unwrap(full.Run())) {
+      if (result.doc >= 1) expected.push_back(result);
+    }
+    PhraseFinderQuery ranged(db_.get(), index_.get(), phrase, DocRange{1});
+    EXPECT_EQ(Unwrap(ranged.Run()), expected) << phrase[0];
+    PhraseFinderQuery empty_range(db_.get(), index_.get(), phrase,
+                                  DocRange{1, 1});
+    EXPECT_TRUE(Unwrap(empty_range.Run()).empty());
+  }
+}
+
+TEST(PhraseStopwordTest, MethodsAgreeOnStopwordTailedText) {
+  // The phrase sits mid-text with stopwords before, between-adjacent and
+  // after; raw positions keep "search engine" adjacent and the fixed
+  // num_words sizes Comp3's verification window over the whole text.
+  TempDir dir;
+  storage::DatabaseOptions options;
+  options.buffer_pool_pages = 64;
+  options.tokenizer.remove_stopwords = true;
+  auto db = Unwrap(storage::Database::Create(dir.path(), options));
+  const auto document = Unwrap(xml::ParseXml(
+      "<doc><p>the search engine of the and</p>"
+      "<p>search of engine</p><p>of the and</p></doc>",
+      "stops.xml"));
+  Unwrap(db->AddDocument(document));
+  index::InvertedIndex index = Unwrap(index::InvertedIndex::Build(db.get()));
+
+  const std::vector<std::string> phrase = {"search", "engine"};
+  PhraseFinderQuery finder(db.get(), &index, phrase);
+  Comp3 composite(db.get(), &index, phrase);
+  const auto finder_out = Unwrap(finder.Run());
+  EXPECT_EQ(finder_out, Unwrap(composite.Run()));
+  // Only the first paragraph has the terms adjacent ("search of engine"
+  // leaves a raw-position hole).
+  ASSERT_EQ(finder_out.size(), 1u);
+  EXPECT_EQ(finder_out[0].count, 1u);
+}
+
 // ------------------------------------------------------- Structural join
 
 TEST_F(PaperExampleExec, SemiJoins) {
@@ -356,6 +429,53 @@ TEST(ThresholdOperatorTest, TopKZeroAndNoFilter) {
   ASSERT_EQ(out.size(), 10u);
   EXPECT_EQ(out.front().node, 9u);
 }
+
+// Tie-breaking property: with heavily tied scores, the heap-based
+// operator and the reference ApplyThreshold must keep the same
+// elements — both resolve score ties by document order (doc, start),
+// whatever the push/input order was.
+class ThresholdTieTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThresholdTieTest, TiedScoresKeepDocumentOrder) {
+  Random rng(GetParam());
+  std::vector<ScoredElement> elements;
+  for (int i = 0; i < 200; ++i) {
+    ScoredElement element;
+    element.node = static_cast<storage::NodeId>(i);
+    // Unique (doc, start) so document order is a strict total order.
+    element.doc = static_cast<storage::DocId>(i % 3);
+    element.start = static_cast<uint32_t>(i);
+    element.end = element.start + 1;
+    // Four distinct score values -> ties everywhere.
+    element.score = 1.0 + static_cast<double>(rng.NextUint64() % 4);
+    elements.push_back(element);
+  }
+  // Shuffle so arrival order disagrees with document order.
+  for (size_t i = elements.size(); i > 1; --i) {
+    std::swap(elements[i - 1], elements[rng.NextUint64() % i]);
+  }
+
+  algebra::ThresholdSpec spec;
+  spec.min_score = 2.0;
+  spec.top_k = 17;
+
+  ThresholdOperator op(spec);
+  for (const ScoredElement& element : elements) op.Push(element);
+  const auto got = op.Finish();
+
+  const auto expected_idx = algebra::ApplyThreshold(
+      elements.size(), [&](size_t i) { return elements[i].score; }, spec,
+      [&](size_t a, size_t b) {
+        return DocumentOrderLess(elements[a], elements[b]);
+      });
+  ASSERT_EQ(got.size(), expected_idx.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, elements[expected_idx[i]].node) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdTieTest,
+                         ::testing::Range<uint64_t>(0, 20));
 
 // ------------------------------------------------------------------ Pick
 

@@ -340,6 +340,38 @@ TEST(DatabaseTest, TextAndAttributes) {
   EXPECT_EQ(Unwrap(db->AllTextOf(authors->front())), "Jane Doe");
 }
 
+TEST(DatabaseTest, NumWordsCountsStopwordTails) {
+  TempDir dir;
+  DatabaseOptions options;
+  options.buffer_pool_pages = 64;
+  options.tokenizer.remove_stopwords = true;
+  auto db = Unwrap(Database::Create(dir.path(), options));
+  const auto document = Unwrap(xml::ParseXml(
+      "<doc><p>search engine of the and</p><q>of the and</q></doc>",
+      "stops.xml"));
+  Unwrap(db->AddDocument(document));
+
+  std::vector<NodeRecord> text_nodes;
+  for (NodeId id = 0; id < db->num_nodes(); ++id) {
+    const NodeRecord record = Unwrap(db->GetNode(id));
+    if (!record.is_element()) text_nodes.push_back(record);
+  }
+  ASSERT_EQ(text_nodes.size(), 2u);
+  // Five raw words even though only "search engine" survives stopword
+  // removal: the last *kept* token would give num_words = 2.
+  EXPECT_EQ(text_nodes[0].num_words, 5u);
+  EXPECT_EQ(text_nodes[0].end, text_nodes[0].start + 5);
+  // Stopword-only text keeps no tokens but still occupies its three
+  // word positions (the old derivation collapsed it to width 0).
+  EXPECT_EQ(text_nodes[1].num_words, 3u);
+  EXPECT_EQ(text_nodes[1].end, text_nodes[1].start + 3);
+  // Document word count — and with it the element interval spans that
+  // length-normalized (bm25) scoring divides by — covers all raw words.
+  EXPECT_EQ(db->documents()[0].word_count, 8u);
+  const NodeRecord root = Unwrap(db->GetNode(db->documents()[0].root));
+  EXPECT_GE(root.end - root.start, 8u);
+}
+
 TEST(DatabaseTest, ReconstructSubtreeMatchesSource) {
   TempDir dir;
   auto db = MakeTestDatabase(dir.path());

@@ -39,6 +39,32 @@ TEST(TokenizerTest, StopwordRemovalKeepsPositions) {
   EXPECT_EQ(tokens[2].position, 5u);
 }
 
+TEST(TokenizerTest, RawPositionsCountDroppedTokens) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  Tokenizer tokenizer(options);
+  // Stopword tail: the last *kept* token sits at position 1, but four
+  // words occupy interval space.
+  uint32_t raw = 0;
+  const auto tokens = tokenizer.Tokenize("search engines of the", &raw);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens.back().position, 1u);
+  EXPECT_EQ(raw, 4u);
+
+  // Stopword-only text keeps no tokens yet still has width.
+  EXPECT_TRUE(tokenizer.Tokenize("of the and", &raw).empty());
+  EXPECT_EQ(raw, 3u);
+
+  EXPECT_TRUE(tokenizer.Tokenize("", &raw).empty());
+  EXPECT_EQ(raw, 0u);
+
+  // No stopword removal: raw count equals the kept count.
+  Tokenizer plain;
+  const auto all = plain.Tokenize("of the and", &raw);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(raw, 3u);
+}
+
 TEST(TokenizerTest, StemmingOption) {
   TokenizerOptions options;
   options.stem = true;

@@ -4,12 +4,16 @@
 //   tix_cli index --db=DIR                           build + persist index
 //   tix_cli stats --db=DIR                           database/index stats
 //   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
-//   tix_cli query --db=DIR [--threads=N] "FOR $a IN ... RETURN $a"
-//                                                    run a query
+//   tix_cli query --db=DIR [--threads=N] [--explain | --stats-json]
+//                 "FOR $a IN ... RETURN $a"          run a query
 //   tix_cli path  --db=DIR "article//sec/p"          holistic path join
 //
 // --threads=N runs score generation (TermJoin) as N doc-partitioned
 // parallel merges; 0 (the default) is the serial single-pass merge.
+//
+// --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
+// cardinalities and storage counters) after the results; --stats-json
+// prints only the plan tree as JSON (schema: docs/OBSERVABILITY.md).
 //
 // A typical session:
 //   tix_cli load  --db=/tmp/db docs/*.xml
@@ -40,6 +44,8 @@ struct Args {
   uint64_t max = UINT64_MAX;
   size_t limit = 10;
   size_t threads = 0;
+  bool explain = false;
+  bool stats_json = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -57,6 +63,10 @@ Args ParseArgs(int argc, char** argv) {
       args.limit = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg == "--explain") {
+      args.explain = true;
+    } else if (arg == "--stats-json") {
+      args.stats_json = true;
     } else {
       args.positional.push_back(arg);
     }
@@ -183,14 +193,28 @@ int CmdQuery(const Args& args) {
       Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
   tix::query::EngineOptions engine_options;
   engine_options.num_threads = args.threads;
+  engine_options.collect_metrics = args.explain || args.stats_json;
   tix::query::QueryEngine engine(db.get(), &index, engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
+  if (args.stats_json) {
+    // Machine-readable mode: the plan JSON is the whole output.
+    if (!output.plan.has_value()) {
+      std::fprintf(stderr, "query: no plan collected\n");
+      return 1;
+    }
+    std::printf("%s", tix::obs::RenderJson(*output.plan).c_str());
+    return 0;
+  }
   std::printf(
       "%zu results (anchors %llu, scored %llu)\n",
       output.results.size(),
       static_cast<unsigned long long>(output.stats.anchors),
       static_cast<unsigned long long>(output.stats.scored_elements));
   std::printf("%s", Check(engine.RenderXml(output, args.limit)).c_str());
+  if (args.explain && output.plan.has_value()) {
+    std::printf("\nEXPLAIN ANALYZE\n%s",
+                tix::obs::RenderText(*output.plan).c_str());
+  }
   return 0;
 }
 
