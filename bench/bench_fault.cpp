@@ -1,0 +1,160 @@
+// Checksum read-path overhead: times the v3 page read path with CRC
+// verification on versus off, plus the raw CRC32 kernel itself, and
+// emits the measurements to BENCH_fault.json.
+//
+//   ./build/bench/bench_fault [--articles=1000] [--runs=5] [--passes=8]
+//                             [--data-dir=/tmp/tix_bench_fault]
+//                             [--out=BENCH_fault.json]
+//
+// Three views of the cost:
+//   crc32_kernel   pure Crc32() over 8 KB pages (GB/s) — the upper bound
+//   page_sweep     PagedFile::ReadPage over every node page, verify
+//                  on vs off — the isolated storage-layer cost
+//   database_open  Database::Open (catalog + full record scan through
+//                  the buffer pool), verify on vs off — what a user sees
+//
+// The page headers are read either way (same bytes off the disk); the
+// delta is the CRC computation plus the header field checks.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_corpus.h"
+#include "bench/bench_util.h"
+#include "common/crc32.h"
+#include "storage/database.h"
+#include "storage/file_manager.h"
+
+int main(int argc, char** argv) {
+  using namespace tix::bench;
+  const Flags flags(argc, argv);
+  const uint64_t articles = flags.GetInt("articles", 1000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 5));
+  const int passes = static_cast<int>(flags.GetInt("passes", 8));
+  const std::string dir = flags.GetString("data-dir", "/tmp/tix_bench_fault");
+  const std::string out = flags.GetString("out", "BENCH_fault.json");
+
+  auto env_result = GetOrBuildBenchEnv(dir, articles, flags.GetInt("seed", 42));
+  if (!env_result.ok()) {
+    std::fprintf(stderr, "%s\n", env_result.status().ToString().c_str());
+    return 1;
+  }
+  BenchEnv env = std::move(env_result).value();
+  const std::string node_path = dir + "/nodes.tix";
+  // Release the cached handles so the sweeps below own the file.
+  const uint64_t num_nodes = env.db->num_nodes();
+  env.index.reset();
+  env.db.reset();
+
+  // --- CRC32 kernel ------------------------------------------------------
+  char page[tix::storage::kPageSize];
+  std::memset(page, 0x5A, sizeof(page));
+  constexpr int kCrcPages = 4096;  // 32 MB per run
+  volatile uint32_t sink = 0;
+  const double crc_seconds = Measure(
+      [&]() -> tix::Status {
+        uint32_t crc = 0;
+        for (int i = 0; i < kCrcPages; ++i) {
+          crc = tix::Crc32(page, sizeof(page), crc);
+        }
+        sink = crc;
+        return tix::Status::OK();
+      },
+      runs);
+  const double crc_gbps =
+      static_cast<double>(kCrcPages) * sizeof(page) / crc_seconds / 1e9;
+
+  // --- page sweep: verify on vs off -------------------------------------
+  uint32_t pages = 0;
+  const auto sweep = [&](bool verify) {
+    return Measure(
+        [&]() -> tix::Status {
+          tix::storage::PagedFileOptions options;
+          options.verify_checksums = verify;
+          auto file_result = tix::storage::PagedFile::Open(node_path, options);
+          if (!file_result.ok()) return file_result.status();
+          auto file = std::move(file_result).value();
+          pages = file->page_count();
+          char buffer[tix::storage::kPageSize];
+          for (int pass = 0; pass < passes; ++pass) {
+            for (tix::storage::PageNumber p = 0; p < file->page_count(); ++p) {
+              TIX_RETURN_IF_ERROR(file->ReadPage(p, buffer));
+            }
+          }
+          return tix::Status::OK();
+        },
+        runs);
+  };
+  const double sweep_on = sweep(true);
+  const double sweep_off = sweep(false);
+  const double page_reads =
+      static_cast<double>(pages) * static_cast<double>(passes);
+  const double sweep_overhead_pct =
+      sweep_off > 0 ? (sweep_on - sweep_off) / sweep_off * 100.0 : 0.0;
+
+  // --- full Database::Open: verify on vs off ----------------------------
+  const auto open_db = [&](bool verify) {
+    return Measure(
+        [&]() -> tix::Status {
+          tix::storage::DatabaseOptions options;
+          options.verify_checksums = verify;
+          auto result = tix::storage::Database::Open(dir, options);
+          return result.status();
+        },
+        runs);
+  };
+  const double open_on = open_db(true);
+  const double open_off = open_db(false);
+  const double open_overhead_pct =
+      open_off > 0 ? (open_on - open_off) / open_off * 100.0 : 0.0;
+
+  std::printf("Checksum read-path overhead — %llu articles, %llu nodes\n\n",
+              static_cast<unsigned long long>(env.num_articles),
+              static_cast<unsigned long long>(num_nodes));
+  std::printf("crc32 kernel:   %.2f GB/s (8 KB pages)\n", crc_gbps);
+  std::printf("page sweep:     %u pages x %d passes\n", pages, passes);
+  std::printf("  verify on     %.4fs (%.0f pages/s)\n", sweep_on,
+              page_reads / sweep_on);
+  std::printf("  verify off    %.4fs (%.0f pages/s)\n", sweep_off,
+              page_reads / sweep_off);
+  std::printf("  overhead      %.2f%%\n", sweep_overhead_pct);
+  std::printf("database open:\n");
+  std::printf("  verify on     %.4fs\n", open_on);
+  std::printf("  verify off    %.4fs\n", open_off);
+  std::printf("  overhead      %.2f%%\n", open_overhead_pct);
+
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      file,
+      "{\n"
+      "  \"bench\": \"checksum_overhead\",\n"
+      "  \"articles\": %llu,\n"
+      "  \"nodes\": %llu,\n"
+      "  \"runs\": %d,\n"
+      "  \"crc32_gbps\": %.3f,\n"
+      "  \"page_sweep\": {\n"
+      "    \"pages\": %u, \"passes\": %d,\n"
+      "    \"seconds_verify_on\": %.6f, \"seconds_verify_off\": %.6f,\n"
+      "    \"pages_per_second_verify_on\": %.0f,\n"
+      "    \"pages_per_second_verify_off\": %.0f,\n"
+      "    \"overhead_pct\": %.4f\n"
+      "  },\n"
+      "  \"database_open\": {\n"
+      "    \"seconds_verify_on\": %.6f, \"seconds_verify_off\": %.6f,\n"
+      "    \"overhead_pct\": %.4f\n"
+      "  }\n"
+      "}\n",
+      static_cast<unsigned long long>(env.num_articles),
+      static_cast<unsigned long long>(num_nodes), runs, crc_gbps, pages,
+      passes, sweep_on, sweep_off, page_reads / sweep_on,
+      page_reads / sweep_off, sweep_overhead_pct, open_on, open_off,
+      open_overhead_pct);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Builds the concurrency-sensitive tests under TSan and under
-# ASan+UBSan and runs them. The targets cover every code path where
-# threads share state: the doc-partitioned ParallelTermJoin and the
-# per-query metrics contexts (including the concurrent-query stats
-# regression in obs_test).
+# Builds the concurrency- and corruption-sensitive tests under TSan and
+# under ASan+UBSan and runs them. The targets cover every code path
+# where threads share state (the doc-partitioned ParallelTermJoin and
+# the per-query metrics contexts, including the concurrent-query stats
+# regression in obs_test) plus the storage fault/corruption suites: the
+# fuzz test in fault_test mutates saved databases hundreds of times, so
+# running it under ASan/UBSan is what turns "no crash observed" into
+# "no UB observed".
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test obs_test)
-FILTER="parallel_exec_test|obs_test"
+TARGETS=(parallel_exec_test obs_test storage_test fault_test)
+FILTER="parallel_exec_test|obs_test|storage_test|fault_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -1,0 +1,62 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace tix {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte's contribution past k further bytes, so eight bytes
+// fold into the CRC with eight independent lookups per iteration
+// instead of a serial chain of eight dependent ones.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    tables[0][i] = crc;
+  }
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xFF];
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (len >= 8) {
+    // memcpy (not a cast) keeps the load aligned-agnostic and UB-free;
+    // little-endian byte order matches the reflected polynomial.
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, bytes, 4);
+    std::memcpy(&hi, bytes + 4, 4);
+    lo ^= crc;
+    crc = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+          kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+          kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    bytes += 8;
+    len -= 8;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace tix

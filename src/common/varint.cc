@@ -24,9 +24,16 @@ Result<uint64_t> GetVarint64(std::string_view* input) {
   uint64_t result = 0;
   int shift = 0;
   size_t i = 0;
-  while (i < input->size() && shift <= 63) {
+  while (i < input->size()) {
     const uint8_t byte = static_cast<uint8_t>((*input)[i]);
     ++i;
+    if (shift == 63 && byte > 1) {
+      // 10th byte: only bit 0 fits in a uint64, and a continuation bit
+      // would make the encoding longer than any 64-bit value needs.
+      // Shifting the payload by 63 would silently drop the high bits,
+      // accepting a value different from what was written.
+      return Status::Corruption("varint overflows 64 bits");
+    }
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       input->remove_prefix(i);
@@ -34,7 +41,7 @@ Result<uint64_t> GetVarint64(std::string_view* input) {
     }
     shift += 7;
   }
-  return Status::Corruption("truncated or overlong varint");
+  return Status::Corruption("truncated varint");
 }
 
 Result<uint32_t> GetVarint32(std::string_view* input) {

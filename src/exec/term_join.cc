@@ -90,12 +90,24 @@ Status TermJoin::PushAncestors(storage::NodeId text_node) {
   };
   std::vector<PendingEntry> pending;
 
+  // A corrupt index can hand us any node id; the in-memory arrays are
+  // sized to the node count, so check before indexing them. The walk is
+  // likewise capped: a parent chain longer than the node count is a
+  // cycle from corrupt records.
+  if (text_node >= db_->num_nodes()) {
+    return Status::Corruption("index posting references nonexistent node " +
+                              std::to_string(text_node));
+  }
   if (options_.enhanced) {
     // The enhanced variant answers every navigation question from the
     // in-memory index: no record access at all.
     storage::NodeId current = db_->ParentFromIndex(text_node);
     while (current != storage::kInvalidNodeId &&
            (stack_.empty() || stack_.back().node != current)) {
+      if (current >= db_->num_nodes() || pending.size() > db_->num_nodes()) {
+        return Status::Corruption("parent chain corrupt at node " +
+                                  std::to_string(text_node));
+      }
       pending.push_back(PendingEntry{current, db_->DocFromIndex(current),
                                      db_->StartFromIndex(current),
                                      db_->EndFromIndex(current),
@@ -107,6 +119,10 @@ Status TermJoin::PushAncestors(storage::NodeId text_node) {
     storage::NodeId current = record.parent;
     while (current != storage::kInvalidNodeId &&
            (stack_.empty() || stack_.back().node != current)) {
+      if (pending.size() > db_->num_nodes()) {
+        return Status::Corruption("parent chain cycle at node " +
+                                  std::to_string(text_node));
+      }
       TIX_ASSIGN_OR_RETURN(record, db_->GetNode(current));
       pending.push_back(PendingEntry{current, record.doc_id, record.start,
                                      record.end, record.level});
@@ -181,7 +197,11 @@ Status TermJoin::Pump() {
     }
 
     TIX_RETURN_IF_ERROR(PushAncestors(min_occurrence.text_node));
-    TIX_CHECK(!stack_.empty());
+    if (stack_.empty()) {
+      // Only possible when the index claims a text occurrence outside
+      // any element — corrupt data, not a programming error.
+      return Status::Corruption("text occurrence with no enclosing element");
+    }
 
     StackEntry& top = stack_.back();
     ++top.counts[static_cast<size_t>(min_stream)];

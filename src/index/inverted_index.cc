@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/varint.h"
+#include "storage/file_manager.h"
 
 namespace tix::index {
 
@@ -241,12 +242,9 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
   PutVarint64(&blob, stats_.num_documents);
   PutVarint64(&blob, stats_.num_text_nodes);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write index file: " + path);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  out.close();
-  return out.good() ? Status::OK()
-                    : Status::IOError("index write failed: " + path);
+  // Write-then-rename so a crash mid-save never leaves a half-written
+  // index at the published path.
+  return storage::AtomicWriteFile(path, blob);
 }
 
 Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
@@ -286,12 +284,32 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
   blob.remove_prefix(dict_size);
 
   TIX_ASSIGN_OR_RETURN(const uint64_t num_lists, GetVarint64(&blob));
+  // Sanity bounds before any allocation: each list costs at least one
+  // byte (its count varint), and each posting at least three bytes (one
+  // varint per field). A corrupt count would otherwise turn resize() /
+  // reserve() into a multi-gigabyte bad_alloc.
+  if (num_lists > blob.size()) {
+    return Status::Corruption("index header: list count " +
+                              std::to_string(num_lists) +
+                              " exceeds remaining blob size");
+  }
+  if (num_lists != out.dictionary_.size()) {
+    return Status::Corruption("index header: list count " +
+                              std::to_string(num_lists) +
+                              " does not match dictionary size " +
+                              std::to_string(out.dictionary_.size()));
+  }
   out.lists_.resize(num_lists);
   for (uint64_t i = 0; i < num_lists; ++i) {
     PostingList& list = out.lists_[i];
     TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
     TIX_ASSIGN_OR_RETURN(const uint64_t df, GetVarint64(&blob));
     TIX_ASSIGN_OR_RETURN(const uint64_t nf, GetVarint64(&blob));
+    if (count > blob.size() / 3) {
+      return Status::Corruption("index list " + std::to_string(i) +
+                                ": posting count " + std::to_string(count) +
+                                " exceeds remaining blob size");
+    }
     list.doc_frequency = static_cast<uint32_t>(df);
     list.node_frequency = static_cast<uint32_t>(nf);
     list.postings.reserve(count);
@@ -320,6 +338,11 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
   out.stats_.num_terms = num_lists;
   TIX_ASSIGN_OR_RETURN(out.stats_.num_documents, GetVarint64(&blob));
   TIX_ASSIGN_OR_RETURN(out.stats_.num_text_nodes, GetVarint64(&blob));
+  if (!blob.empty()) {
+    return Status::Corruption("index blob has " +
+                              std::to_string(blob.size()) +
+                              " trailing bytes");
+  }
   for (PostingList& list : out.lists_) {
     TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
     list.BuildSkips();

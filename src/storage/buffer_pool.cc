@@ -72,7 +72,14 @@ Result<PageHandle> BufferPool::Fetch(PagedFile* file, PageNumber page_no) {
   ++stats_.misses;
   TIX_ASSIGN_OR_RETURN(const size_t frame_index, AcquireFrame());
   Frame& frame = frames_[frame_index];
-  TIX_RETURN_IF_ERROR(file->ReadPage(page_no, frame.data.get()));
+  const Status read_status = file->ReadPage(page_no, frame.data.get());
+  if (!read_status.ok()) {
+    // Return the acquired frame to the free list: a corrupt page must
+    // not leak pool capacity (a fuzzed database would otherwise turn
+    // every Corruption into ResourceExhausted after enough fetches).
+    free_frames_.push_back(frame_index);
+    return read_status;
+  }
   frame.file = file;
   frame.page_no = page_no;
   frame.pin_count = 1;
@@ -117,7 +124,15 @@ Result<size_t> BufferPool::AcquireFrame() {
   lru_.pop_front();
   Frame& frame = frames_[victim];
   frame.in_lru = false;
-  TIX_RETURN_IF_ERROR(WriteBack(frame));
+  const Status write_status = WriteBack(frame);
+  if (!write_status.ok()) {
+    // Keep the dirty victim resident and evictable; dropping it from
+    // the LRU here would strand the frame (and its data) forever.
+    lru_.push_front(victim);
+    frame.in_lru = true;
+    frame.lru_pos = lru_.begin();
+    return write_status;
+  }
   page_table_.erase(Key(frame.file, frame.page_no));
   frame.in_use = false;
   ++stats_.evictions;

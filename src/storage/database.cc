@@ -71,12 +71,21 @@ Database::Database(std::string dir, const DatabaseOptions& options)
       tokenizer_(options.tokenizer),
       pool_(std::make_unique<BufferPool>(options.buffer_pool_pages)) {}
 
+PagedFileOptions Database::FileOptions() const {
+  PagedFileOptions file_options;
+  file_options.verify_checksums = options_.verify_checksums;
+  file_options.fault_injector = options_.fault_injector;
+  return file_options;
+}
+
 Result<std::unique_ptr<Database>> Database::Create(
     const std::string& dir, const DatabaseOptions& options) {
   TIX_RETURN_IF_ERROR(EnsureDirectory(dir));
   std::unique_ptr<Database> db(new Database(dir, options));
-  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Create(NodeFilePath(dir)));
-  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Create(TextFilePath(dir)));
+  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Create(NodeFilePath(dir),
+                                                         db->FileOptions()));
+  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Create(TextFilePath(dir),
+                                                         db->FileOptions()));
   db->node_store_ =
       std::make_unique<NodeStore>(db->pool_.get(), std::move(node_file));
   db->text_store_ =
@@ -255,7 +264,13 @@ Result<std::vector<NodeId>> Database::AncestorsOf(NodeId id) {
   std::vector<NodeId> chain;
   TIX_ASSIGN_OR_RETURN(NodeRecord record, node_store_->Get(id));
   NodeId current = record.parent;
+  // A parent chain longer than the node count means corrupt records
+  // formed a cycle; bail out instead of walking it forever.
   while (current != kInvalidNodeId) {
+    if (chain.size() > num_nodes()) {
+      return Status::Corruption("parent chain cycle at node " +
+                                std::to_string(id));
+    }
     chain.push_back(current);
     TIX_ASSIGN_OR_RETURN(record, node_store_->Get(current));
     current = record.parent;
@@ -268,6 +283,10 @@ Result<uint32_t> Database::CountChildrenByNavigation(NodeId id) {
   uint32_t count = 0;
   NodeId child = record.first_child;
   while (child != kInvalidNodeId) {
+    if (count > num_nodes()) {
+      return Status::Corruption("sibling chain cycle under node " +
+                                std::to_string(id));
+    }
     ++count;
     TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
                          node_store_->Get(child));
@@ -281,6 +300,10 @@ Result<std::vector<NodeId>> Database::ChildrenOf(NodeId id) {
   std::vector<NodeId> children;
   NodeId child = record.first_child;
   while (child != kInvalidNodeId) {
+    if (children.size() > num_nodes()) {
+      return Status::Corruption("sibling chain cycle under node " +
+                                std::to_string(id));
+    }
     children.push_back(child);
     TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
                          node_store_->Get(child));
@@ -327,6 +350,18 @@ Result<std::string> Database::AllTextOf(NodeId id) {
 }
 
 Result<std::unique_ptr<xml::XmlNode>> Database::ReconstructSubtree(NodeId id) {
+  return ReconstructSubtreeAtDepth(id, 0);
+}
+
+Result<std::unique_ptr<xml::XmlNode>> Database::ReconstructSubtreeAtDepth(
+    NodeId id, uint64_t depth) {
+  // Corrupt first_child links can form a cycle; genuine trees are never
+  // deeper than the node count, so treat that as corruption rather than
+  // recursing until the stack overflows.
+  if (depth > num_nodes()) {
+    return Status::Corruption("child chain cycle at node " +
+                              std::to_string(id));
+  }
   TIX_ASSIGN_OR_RETURN(const NodeRecord record, node_store_->Get(id));
   if (record.is_text()) {
     TIX_ASSIGN_OR_RETURN(std::string data, TextOf(record));
@@ -338,9 +373,14 @@ Result<std::unique_ptr<xml::XmlNode>> Database::ReconstructSubtree(NodeId id) {
     element->AddAttribute(std::move(attr.name), std::move(attr.value));
   }
   NodeId child = record.first_child;
+  uint64_t visited = 0;
   while (child != kInvalidNodeId) {
+    if (visited++ > num_nodes()) {
+      return Status::Corruption("sibling chain cycle under node " +
+                                std::to_string(id));
+    }
     TIX_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> child_dom,
-                         ReconstructSubtree(child));
+                         ReconstructSubtreeAtDepth(child, depth + 1));
     element->AddChild(std::move(child_dom));
     TIX_ASSIGN_OR_RETURN(const NodeRecord child_record,
                          node_store_->Get(child));
@@ -350,10 +390,16 @@ Result<std::unique_ptr<xml::XmlNode>> Database::ReconstructSubtree(NodeId id) {
 }
 
 Status Database::Save() {
+  // Durability order: flush dirty pages, fsync both data files, then
+  // atomically publish the catalog (write-then-rename + directory
+  // fsync). The catalog rename is the commit point — a crash at any
+  // earlier step leaves the previous catalog intact, so a torn save can
+  // never produce a half-updated database.
   TIX_RETURN_IF_ERROR(pool_->FlushAll());
   TIX_RETURN_IF_ERROR(node_store_->file()->Sync());
   TIX_RETURN_IF_ERROR(text_store_->file()->Sync());
-  return SaveCatalog();
+  TIX_RETURN_IF_ERROR(SaveCatalog());
+  return SyncDirectory(dir_);
 }
 
 Status Database::SaveCatalog() const {
@@ -372,12 +418,7 @@ Status Database::SaveCatalog() const {
     PutVarint64(&blob, doc.node_count);
     PutVarint64(&blob, doc.word_count);
   }
-  std::ofstream out(CatalogPath(dir_), std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write catalog in " + dir_);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  out.close();
-  return out.good() ? Status::OK()
-                    : Status::IOError("catalog write failed in " + dir_);
+  return AtomicWriteFile(CatalogPath(dir_), blob);
 }
 
 Status Database::LoadCatalog() {
@@ -408,14 +449,49 @@ Status Database::LoadCatalog() {
     doc.name = std::string(blob.substr(0, name_len));
     blob.remove_prefix(name_len);
     TIX_ASSIGN_OR_RETURN(const uint64_t root, GetVarint64(&blob));
+    // Document roots seed query anchors and index the in-memory
+    // per-node arrays, so an out-of-range root is corruption here, not
+    // an out-of-bounds read later.
+    if (root >= num_nodes) {
+      return Status::Corruption("catalog document root " +
+                                std::to_string(root) +
+                                " out of range (num_nodes " +
+                                std::to_string(num_nodes) + ")");
+    }
     doc.root = static_cast<NodeId>(root);
     TIX_ASSIGN_OR_RETURN(doc.node_count, GetVarint64(&blob));
     TIX_ASSIGN_OR_RETURN(doc.word_count, GetVarint64(&blob));
     documents_.push_back(std::move(doc));
   }
 
-  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Open(NodeFilePath(dir_)));
-  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Open(TextFilePath(dir_)));
+  TIX_ASSIGN_OR_RETURN(auto node_file, PagedFile::Open(NodeFilePath(dir_),
+                                                       FileOptions()));
+  TIX_ASSIGN_OR_RETURN(auto text_file, PagedFile::Open(TextFilePath(dir_),
+                                                       FileOptions()));
+
+  // Cross-check the catalog's sizes against the files actually on disk:
+  // a truncated data file must fail here, not read back zero pages as
+  // if they held records. (The checks also bound the index rebuild's
+  // allocations when the catalog counters themselves are corrupt.)
+  if (num_nodes > kInvalidNodeId) {
+    return Status::Corruption("catalog node count exceeds NodeId range");
+  }
+  const uint64_t needed_node_pages =
+      (num_nodes + kRecordsPerPage - 1) / kRecordsPerPage;
+  if (node_file->page_count() < needed_node_pages) {
+    return Status::Corruption(
+        "node file truncated: catalog expects " + std::to_string(num_nodes) +
+        " records (" + std::to_string(needed_node_pages) + " pages), file has " +
+        std::to_string(node_file->page_count()) + " pages");
+  }
+  const uint64_t needed_text_pages = (text_bytes + kPageSize - 1) / kPageSize;
+  if (text_file->page_count() < needed_text_pages) {
+    return Status::Corruption(
+        "text file truncated: catalog expects " + std::to_string(text_bytes) +
+        " bytes, file has " + std::to_string(text_file->page_count()) +
+        " pages");
+  }
+
   node_store_ = std::make_unique<NodeStore>(pool_.get(), std::move(node_file),
                                             num_nodes);
   text_store_ = std::make_unique<TextStore>(pool_.get(), std::move(text_file),
@@ -441,8 +517,13 @@ Status Database::RebuildIndexes() {
     end_index_[id] = record.end;
     doc_index_[id] = record.doc_id;
     if (record.is_element()) {
+      // Every on-disk element tag must already be in the catalog
+      // dictionary; a corrupt tag_id would otherwise size tag_index_ to
+      // an arbitrary 32-bit value.
       if (record.tag_id >= tag_index_.size()) {
-        tag_index_.resize(record.tag_id + 1);
+        return Status::Corruption("node " + std::to_string(id) +
+                                  " references unknown tag id " +
+                                  std::to_string(record.tag_id));
       }
       tag_index_[record.tag_id].push_back(id);
     }

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault.h"
 #include "storage/node_store.h"
 #include "storage/text_store.h"
 #include "text/term_dictionary.h"
@@ -42,6 +43,16 @@ struct DatabaseOptions {
   /// Tokenization applied when counting words during load. The index
   /// builder must use the same options.
   text::TokenizerOptions tokenizer;
+
+  /// Verify per-page CRC32 checksums on every read of the node/text
+  /// files (on-disk format v3; legacy unchecksummed files have nothing
+  /// to verify). A mismatch surfaces as Status::Corruption naming the
+  /// file and page. See docs/STORAGE.md.
+  bool verify_checksums = true;
+
+  /// Optional deterministic fault injector shared by the database's
+  /// paged files (tests/benches only). nullptr = real I/O.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// One decoded attribute from an element's attribute blob.
@@ -139,6 +150,9 @@ class Database {
   Status LoadCatalog();
   Status SaveCatalog() const;
   Status RebuildIndexes();
+  PagedFileOptions FileOptions() const;
+  Result<std::unique_ptr<xml::XmlNode>> ReconstructSubtreeAtDepth(
+      NodeId id, uint64_t depth);
 
   std::string dir_;
   DatabaseOptions options_;

@@ -1,0 +1,85 @@
+#include "storage/fault.h"
+
+namespace tix::storage {
+
+FaultInjector::FaultInjector(const FaultPolicy& policy)
+    : policy_(policy), rng_state_(policy.seed == 0 ? 1 : policy.seed) {}
+
+uint64_t FaultInjector::NextRand() {
+  // xorshift64*: cheap, full-period, and deterministic across platforms.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545F4914F6CDD1DULL;
+}
+
+Status FaultInjector::OnRead(const std::string& path, char* data,
+                             size_t* len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t n = ++reads_;
+  if (policy_.fail_read_at != 0 && n == policy_.fail_read_at) {
+    ++injected_;
+    return Status::IOError("injected read failure on '" + path + "'");
+  }
+  if (policy_.short_read_at != 0 && n == policy_.short_read_at &&
+      *len > 0) {
+    ++injected_;
+    *len = static_cast<size_t>(NextRand() % *len);
+    return Status::OK();
+  }
+  if (policy_.bit_flip_read_at != 0 && n == policy_.bit_flip_read_at &&
+      *len > 0) {
+    ++injected_;
+    const uint64_t bit = NextRand() % (*len * 8);
+    data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnWrite(const std::string& path, size_t* len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t n = ++writes_;
+  if (policy_.fail_write_at != 0 && n == policy_.fail_write_at) {
+    ++injected_;
+    *len = 0;
+    return Status::IOError("injected write failure on '" + path + "'");
+  }
+  if (policy_.torn_write_at != 0 && n == policy_.torn_write_at && *len > 0) {
+    ++injected_;
+    *len = static_cast<size_t>(NextRand() % *len);
+    return Status::IOError("injected torn write on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t n = ++syncs_;
+  if (policy_.fail_sync_at != 0 && n == policy_.fail_sync_at) {
+    ++injected_;
+    return Status::IOError("injected fsync failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::reads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reads_;
+}
+
+uint64_t FaultInjector::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+uint64_t FaultInjector::syncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return syncs_;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace tix::storage

@@ -1,0 +1,91 @@
+#ifndef TIX_STORAGE_FAULT_H_
+#define TIX_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+/// \file
+/// Deterministic I/O fault injection for the storage layer. A
+/// FaultInjector is installed on a PagedFile (usually via
+/// DatabaseOptions::fault_injector, which shares one injector across the
+/// database's files) and consulted on every page read, page write and
+/// fsync. Faults fire on the N-th operation of their kind, with the
+/// seeded RNG deciding byte counts and bit positions, so a given policy
+/// plus I/O sequence reproduces the same fault every run — which is what
+/// lets tests assert exact failure behavior instead of flaking.
+///
+/// The injector models the classic storage failure modes:
+///   - failed read/write/fsync  -> the syscall errors out
+///   - short read               -> fewer bytes than requested (truncation)
+///   - torn write               -> only a prefix reaches the disk (power
+///                                 loss mid-write), then the write errors
+///   - bit flip on read         -> silent media corruption; only page
+///                                 checksums (format v3) can catch it
+
+namespace tix::storage {
+
+/// When to inject. Triggers are 1-based indices into the injector's own
+/// per-kind operation counters; 0 disables that fault. E.g.
+/// `fail_read_at = 3` fails the third page read the injector sees.
+struct FaultPolicy {
+  /// Seed for torn-write lengths and bit-flip positions.
+  uint64_t seed = 1;
+  uint64_t fail_read_at = 0;
+  uint64_t fail_write_at = 0;
+  uint64_t fail_sync_at = 0;
+  /// The N-th read returns only a prefix of the requested bytes.
+  uint64_t short_read_at = 0;
+  /// The N-th write persists only a prefix, then reports an error.
+  uint64_t torn_write_at = 0;
+  /// The N-th read has one seeded bit flipped in the returned buffer.
+  uint64_t bit_flip_read_at = 0;
+};
+
+/// Thread-safe: PagedFile reads happen concurrently under parallel
+/// TermJoin, so the counters and RNG are guarded by a mutex (these are
+/// test-only paths; the production configuration carries no injector and
+/// pays nothing).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPolicy& policy);
+  TIX_DISALLOW_COPY_AND_ASSIGN(FaultInjector);
+
+  /// Called by PagedFile after the physical read filled `data[0, *len)`.
+  /// May flip a bit in `data`, shrink `*len` (short read), or return an
+  /// injected error.
+  Status OnRead(const std::string& path, char* data, size_t* len);
+
+  /// Called by PagedFile before the physical write of `*len` bytes. May
+  /// shrink `*len` — the caller persists that prefix and then returns
+  /// the injected error — or zero it (nothing reaches the disk).
+  Status OnWrite(const std::string& path, size_t* len);
+
+  /// Called by PagedFile::Sync before the physical fsync.
+  Status OnSync(const std::string& path);
+
+  uint64_t reads() const;
+  uint64_t writes() const;
+  uint64_t syncs() const;
+  /// Total faults injected so far (all kinds).
+  uint64_t injected() const;
+
+ private:
+  uint64_t NextRand();  // xorshift64*; caller holds mutex_.
+
+  const FaultPolicy policy_;
+  mutable std::mutex mutex_;
+  uint64_t rng_state_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace tix::storage
+
+#endif  // TIX_STORAGE_FAULT_H_

@@ -4,12 +4,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <memory>
 
+#include "common/crc32.h"
 #include "common/logging.h"
+#include "storage/fault.h"
 
 namespace tix::storage {
 
@@ -19,82 +22,264 @@ std::atomic<uint32_t> g_next_file_id{1};
 std::string ErrnoMessage(const std::string& op, const std::string& path) {
   return op + " '" + path + "': " + std::strerror(errno);
 }
+
+std::string PageContext(const std::string& what, const std::string& path,
+                        PageNumber page_no) {
+  return what + " (file '" + path + "', page " + std::to_string(page_no) +
+         ")";
+}
+
+void EncodeFileHeader(char* header) {
+  EncodeU32(header + 0, kPageFileMagic);
+  EncodeU32(header + 4, kPageFileVersion);
+  EncodeU32(header + 8, static_cast<uint32_t>(kPageSize));
+  EncodeU32(header + 12, Crc32(header, 12));
+}
 }  // namespace
 
 PagedFile::~PagedFile() { Close(); }
 
-Result<std::unique_ptr<PagedFile>> PagedFile::Create(const std::string& path) {
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(
+    const std::string& path, const PagedFileOptions& options) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("create", path));
+  char header[kFileHeaderSize];
+  EncodeFileHeader(header);
+  size_t total = 0;
+  while (total < kFileHeaderSize) {
+    const ssize_t n = ::pwrite(fd, header + total, kFileHeaderSize - total,
+                               static_cast<off_t>(total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(ErrnoMessage("pwrite", path));
+      ::close(fd);
+      return status;
+    }
+    total += static_cast<size_t>(n);
+  }
   auto file = std::make_unique<PagedFile>();
   file->fd_ = fd;
   file->page_count_ = 0;
+  file->checksummed_ = true;
+  file->verify_checksums_ = options.verify_checksums;
+  file->fault_ = options.fault_injector;
   file->path_ = path;
   file->file_id_ = g_next_file_id.fetch_add(1);
   return file;
 }
 
-Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path) {
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(
+    const std::string& path, const PagedFileOptions& options) {
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
   struct stat st;
   if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("stat", path));
     ::close(fd);
-    return Status::IOError(ErrnoMessage("stat", path));
+    return status;
   }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+
+  // Format detection: a v3 file starts with the magic; anything else is
+  // a legacy raw page file. Once the magic matches, the rest of the
+  // header must check out — a damaged v3 header is corruption, not an
+  // excuse to reinterpret checksummed frames as raw pages.
+  bool checksummed = false;
+  if (size >= kFileHeaderSize) {
+    char header[kFileHeaderSize];
+    size_t total = 0;
+    while (total < kFileHeaderSize) {
+      const ssize_t n = ::pread(fd, header + total, kFileHeaderSize - total,
+                                static_cast<off_t>(total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status = Status::IOError(ErrnoMessage("pread", path));
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      total += static_cast<size_t>(n);
+    }
+    if (total == kFileHeaderSize && DecodeU32(header) == kPageFileMagic) {
+      if (DecodeU32(header + 12) != Crc32(header, 12)) {
+        ::close(fd);
+        return Status::Corruption("page file header checksum mismatch: '" +
+                                  path + "'");
+      }
+      const uint32_t version = DecodeU32(header + 4);
+      if (version != kPageFileVersion) {
+        ::close(fd);
+        return Status::Corruption("unsupported page file version " +
+                                  std::to_string(version) + ": '" + path +
+                                  "'");
+      }
+      if (DecodeU32(header + 8) != kPageSize) {
+        ::close(fd);
+        return Status::Corruption("page size mismatch: '" + path + "'");
+      }
+      checksummed = true;
+    }
+  }
+
   auto file = std::make_unique<PagedFile>();
   file->fd_ = fd;
-  file->page_count_ =
-      static_cast<PageNumber>(static_cast<uint64_t>(st.st_size) / kPageSize);
+  file->checksummed_ = checksummed;
+  file->verify_checksums_ = options.verify_checksums;
+  file->fault_ = options.fault_injector;
+  if (checksummed) {
+    const uint64_t body = size - kFileHeaderSize;
+    file->page_count_ = static_cast<PageNumber>(body / kPageFrameSize);
+    file->has_partial_tail_ = body % kPageFrameSize != 0;
+  } else {
+    file->page_count_ = static_cast<PageNumber>(size / kPageSize);
+    file->has_partial_tail_ = size % kPageSize != 0;
+  }
   file->path_ = path;
   file->file_id_ = g_next_file_id.fetch_add(1);
   return file;
 }
 
-Status PagedFile::ReadPage(PageNumber page_no, char* buffer) {
-  TIX_CHECK(fd_ >= 0);
-  if (page_no >= page_count_) {
-    std::memset(buffer, 0, kPageSize);
-    return Status::OK();
-  }
-  const off_t offset = static_cast<off_t>(page_no) * kPageSize;
-  ssize_t total = 0;
-  while (total < static_cast<ssize_t>(kPageSize)) {
-    const ssize_t n =
-        ::pread(fd_, buffer + total, kPageSize - total, offset + total);
+uint64_t PagedFile::FrameOffset(PageNumber page_no) const {
+  return checksummed_
+             ? kFileHeaderSize + static_cast<uint64_t>(page_no) * kPageFrameSize
+             : static_cast<uint64_t>(page_no) * kPageSize;
+}
+
+Status PagedFile::ReadExact(uint64_t offset, char* dst, size_t len,
+                            PageNumber page_no) {
+  size_t total = 0;
+  while (total < len) {
+    const ssize_t n = ::pread(fd_, dst + total, len - total,
+                              static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(ErrnoMessage("pread", path_));
     }
-    if (n == 0) {
-      // Short file (page partially written); zero-fill the rest.
-      std::memset(buffer + total, 0, kPageSize - total);
+    if (n == 0) break;  // EOF before a full page: handled below.
+    total += static_cast<size_t>(n);
+  }
+  if (fault_ != nullptr) {
+    size_t faulted = total;
+    TIX_RETURN_IF_ERROR(fault_->OnRead(path_, dst, &faulted));
+    total = std::min(total, faulted);
+  }
+  if (total < len) {
+    return Status::Corruption(
+        PageContext("short page read — file truncated or torn", path_,
+                    page_no));
+  }
+  return Status::OK();
+}
+
+Status PagedFile::WriteFrame(uint64_t offset, const char* src, size_t len,
+                             PageNumber page_no) {
+  size_t target = len;
+  Status injected;
+  if (fault_ != nullptr) injected = fault_->OnWrite(path_, &target);
+  size_t total = 0;
+  Status io;
+  while (total < target) {
+    const ssize_t n = ::pwrite(fd_, src + total, target - total,
+                               static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io = Status::IOError(ErrnoMessage("pwrite", path_));
       break;
     }
-    total += n;
+    total += static_cast<size_t>(n);
   }
+  if (!injected.ok() || !io.ok()) {
+    // A failed write that extended the file leaves a partial frame at
+    // the tail; remember so reads of that page report Corruption.
+    if (page_no >= page_count_ && total > 0) has_partial_tail_ = true;
+    return injected.ok() ? io : injected;
+  }
+  return Status::OK();
+}
+
+Status PagedFile::ReadPage(PageNumber page_no, char* buffer) {
+  if (fd_ < 0) {
+    return Status::IOError("ReadPage on closed file '" + path_ + "'");
+  }
+  if (page_no >= page_count_) {
+    if (has_partial_tail_ && page_no == page_count_) {
+      return Status::Corruption(
+          PageContext("page is short on disk — file truncated or torn",
+                      path_, page_no));
+    }
+    // Never-allocated page: fresh zeros (the append path reads a page
+    // before first writing it).
+    std::memset(buffer, 0, kPageSize);
+    return Status::OK();
+  }
+  if (!checksummed_) {
+    return ReadExact(FrameOffset(page_no), buffer, kPageSize, page_no);
+  }
+  char frame[kPageFrameSize];
+  TIX_RETURN_IF_ERROR(
+      ReadExact(FrameOffset(page_no), frame, kPageFrameSize, page_no));
+  if (verify_checksums_) {
+    const uint32_t stored_crc = DecodeU32(frame + 0);
+    const PageNumber stored_page = DecodeU32(frame + 4);
+    const uint32_t actual_crc = Crc32(frame + kPageHeaderSize, kPageSize);
+    if (stored_page != page_no || actual_crc != stored_crc) {
+      // An all-zero frame is a filesystem hole left by an out-of-order
+      // write past it — a never-written page, which reads as zeros. No
+      // valid frame is ever all zeros: the CRC32 of a zero payload is
+      // nonzero, so a written frame always has a nonzero header.
+      bool all_zero = true;
+      for (size_t i = 0; i < kPageFrameSize; ++i) {
+        if (frame[i] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        std::memset(buffer, 0, kPageSize);
+        return Status::OK();
+      }
+      if (stored_page != page_no) {
+        return Status::Corruption(
+            PageContext("page header claims page " +
+                            std::to_string(stored_page) +
+                            " — misplaced write",
+                        path_, page_no));
+      }
+      return Status::Corruption(
+          PageContext("page checksum mismatch", path_, page_no));
+    }
+  }
+  std::memcpy(buffer, frame + kPageHeaderSize, kPageSize);
   return Status::OK();
 }
 
 Status PagedFile::WritePage(PageNumber page_no, const char* buffer) {
-  TIX_CHECK(fd_ >= 0);
-  const off_t offset = static_cast<off_t>(page_no) * kPageSize;
-  ssize_t total = 0;
-  while (total < static_cast<ssize_t>(kPageSize)) {
-    const ssize_t n =
-        ::pwrite(fd_, buffer + total, kPageSize - total, offset + total);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pwrite", path_));
-    }
-    total += n;
+  if (fd_ < 0) {
+    return Status::IOError("WritePage on closed file '" + path_ + "'");
   }
-  if (page_no >= page_count_) page_count_ = page_no + 1;
+  const uint64_t offset = FrameOffset(page_no);
+  if (checksummed_) {
+    char frame[kPageFrameSize];
+    EncodeU32(frame + 0, Crc32(buffer, kPageSize));
+    EncodeU32(frame + 4, page_no);
+    EncodeU64(frame + 8, 0);
+    std::memcpy(frame + kPageHeaderSize, buffer, kPageSize);
+    TIX_RETURN_IF_ERROR(WriteFrame(offset, frame, kPageFrameSize, page_no));
+  } else {
+    TIX_RETURN_IF_ERROR(WriteFrame(offset, buffer, kPageSize, page_no));
+  }
+  if (page_no >= page_count_) {
+    // Writing the partial page at the tail completes it.
+    if (page_no == page_count_) has_partial_tail_ = false;
+    page_count_ = page_no + 1;
+  }
   return Status::OK();
 }
 
 Status PagedFile::Sync() {
-  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+  if (fd_ < 0) return Status::OK();
+  if (fault_ != nullptr) TIX_RETURN_IF_ERROR(fault_->OnSync(path_));
+  if (::fsync(fd_) != 0) {
     return Status::IOError(ErrnoMessage("fsync", path_));
   }
   return Status::OK();
@@ -105,6 +290,51 @@ void PagedFile::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError(ErrnoMessage("fsync dir", dir));
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("create", tmp));
+  size_t total = 0;
+  while (total < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + total, data.size() - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(ErrnoMessage("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    total += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("close", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  const size_t slash = path.find_last_of('/');
+  return SyncDirectory(slash == std::string::npos ? "."
+                                                  : path.substr(0, slash));
 }
 
 }  // namespace tix::storage

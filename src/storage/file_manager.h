@@ -2,7 +2,9 @@
 #define TIX_STORAGE_FILE_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/macros.h"
 #include "common/result.h"
@@ -13,27 +15,65 @@
 /// postings) owns one PagedFile; all reads and writes go through the
 /// buffer pool, never directly through this class, except for bulk
 /// loading.
+///
+/// On-disk page-file format v3 (checksummed; see docs/STORAGE.md):
+///
+///   file header (16 bytes):
+///     u32 magic "TIXP"   u32 version (3)   u32 page size   u32 header CRC
+///   page frame, one per page (16 + kPageSize bytes):
+///     u32 payload CRC32  u32 page number   u64 reserved    payload
+///
+/// Files written before v3 are raw concatenated pages with no headers;
+/// Open() detects them by the absent magic and serves them unchanged
+/// (and keeps writing them raw, so a legacy database stays readable by
+/// older builds). Callers always exchange kPageSize payload bytes; the
+/// framing is invisible above this class.
 
 namespace tix::storage {
 
-/// A file addressed in units of kPageSize. Not thread-safe (the engine is
-/// single-threaded by design; see README).
+class FaultInjector;
+
+/// v3 file-format constants, exposed for tests and benches.
+inline constexpr uint32_t kPageFileMagic = 0x50584954;  // "TIXP" little-endian
+inline constexpr uint32_t kPageFileVersion = 3;
+inline constexpr size_t kFileHeaderSize = 16;
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr size_t kPageFrameSize = kPageHeaderSize + kPageSize;
+
+struct PagedFileOptions {
+  /// Verify the per-page CRC32 on every read of a v3 file (legacy raw
+  /// files carry no checksums to verify). A mismatch surfaces as
+  /// Status::Corruption naming the file and page.
+  bool verify_checksums = true;
+  /// Optional deterministic fault injector (tests). nullptr = real I/O.
+  std::shared_ptr<FaultInjector> fault_injector;
+};
+
+/// A file addressed in units of kPageSize. Concurrent reads are safe
+/// (pread/pwrite are stateless); writes are serialized by the buffer
+/// pool's metadata mutex.
 class PagedFile {
  public:
   PagedFile() = default;
   ~PagedFile();
   TIX_DISALLOW_COPY_AND_ASSIGN(PagedFile);
 
-  /// Creates (truncating) or opens the file at `path`.
-  static Result<std::unique_ptr<PagedFile>> Create(const std::string& path);
-  static Result<std::unique_ptr<PagedFile>> Open(const std::string& path);
+  /// Creates (truncating) the file at `path` in checksummed v3 format.
+  static Result<std::unique_ptr<PagedFile>> Create(
+      const std::string& path, const PagedFileOptions& options = {});
+  /// Opens an existing file, auto-detecting v3 vs. legacy raw format.
+  static Result<std::unique_ptr<PagedFile>> Open(
+      const std::string& path, const PagedFileOptions& options = {});
 
-  /// Reads page `page_no` into `buffer` (kPageSize bytes). Reading a page
-  /// beyond the current end yields zeros (fresh page semantics).
+  /// Reads page `page_no` into `buffer` (kPageSize bytes). A page beyond
+  /// the current end that was never written yields zeros (fresh-page
+  /// semantics, required by the append path); a page that should exist
+  /// but is short on disk — a truncated or torn file — is
+  /// Status::Corruption, never silently zero-filled.
   Status ReadPage(PageNumber page_no, char* buffer);
 
   /// Writes kPageSize bytes from `buffer` to page `page_no`, extending
-  /// the file as needed.
+  /// the file as needed. v3 files get a fresh checksum per write.
   Status WritePage(PageNumber page_no, const char* buffer);
 
   /// Number of complete pages currently in the file.
@@ -44,15 +84,39 @@ class PagedFile {
   /// A process-unique id used as part of the buffer-pool key.
   uint32_t file_id() const { return file_id_; }
 
+  /// True when the file carries per-page checksums (v3).
+  bool checksummed() const { return checksummed_; }
+
   Status Sync();
   void Close();
 
  private:
+  Status ReadExact(uint64_t offset, char* dst, size_t len,
+                   PageNumber page_no);
+  Status WriteFrame(uint64_t offset, const char* src, size_t len,
+                    PageNumber page_no);
+  uint64_t FrameOffset(PageNumber page_no) const;
+
   int fd_ = -1;
   PageNumber page_count_ = 0;
+  /// The file ends in a partial page/frame (truncation or torn write);
+  /// reading that page is Corruption, not fresh zeros.
+  bool has_partial_tail_ = false;
+  bool checksummed_ = true;
+  bool verify_checksums_ = true;
   std::string path_;
   uint32_t file_id_ = 0;
+  std::shared_ptr<FaultInjector> fault_;
 };
+
+/// fsyncs directory `dir` so renames and file creations inside it are
+/// durable.
+Status SyncDirectory(const std::string& dir);
+
+/// Durably replaces `path` with `data`: writes `path`.tmp, fsyncs it,
+/// renames it over `path`, then fsyncs the containing directory. Readers
+/// see either the old or the new content, never a torn mix.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
 
 }  // namespace tix::storage
 

@@ -36,7 +36,10 @@ Result<uint64_t> TextStore::Append(std::string_view data) {
 }
 
 Result<std::string> TextStore::Read(uint64_t offset, uint32_t length) {
-  if (offset + length > size_bytes_) {
+  // Overflow-safe form of `offset + length > size_bytes_`: a corrupt
+  // record can carry an offset near UINT64_MAX, and the wrapped sum
+  // would pass the naive check and read zero pages as blob bytes.
+  if (length > size_bytes_ || offset > size_bytes_ - length) {
     return Status::OutOfRange("text store read past end");
   }
   blob_reads_.fetch_add(1, std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -189,6 +190,61 @@ TEST(VarintTest, Varint32RejectsOverflow) {
   PutVarint64(&buffer, 1ull << 40);
   std::string_view view(buffer);
   EXPECT_TRUE(GetVarint32(&view).status().IsCorruption());
+}
+
+TEST(VarintTest, TenthByteOverflowIsCorruption) {
+  // UINT64_MAX encodes as nine 0xFF bytes plus a final 0x01: the tenth
+  // byte contributes exactly one bit (shift 63). Any tenth byte above 1
+  // would silently drop high bits if accepted — it must be rejected.
+  const std::string max_encoding(9, '\xFF');
+  {
+    std::string buffer = max_encoding + '\x01';
+    std::string_view view(buffer);
+    const Result<uint64_t> decoded = GetVarint64(&view);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), UINT64_MAX);
+    EXPECT_TRUE(view.empty());
+  }
+  for (const char tenth : {'\x02', '\x7F', '\x81'}) {
+    std::string buffer = max_encoding + tenth;
+    std::string_view view(buffer);
+    EXPECT_TRUE(GetVarint64(&view).status().IsCorruption())
+        << "tenth byte " << static_cast<int>(tenth) << " accepted";
+  }
+}
+
+TEST(VarintTest, UnterminatedInputIsCorruption) {
+  // Continuation bits forever: must terminate with an error, not read
+  // past the buffer or loop.
+  const std::string endless(16, '\x80');
+  std::string_view view(endless);
+  EXPECT_TRUE(GetVarint64(&view).status().IsCorruption());
+}
+
+// ----------------------------------------------------------------- CRC32
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(512, '\x5A');
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (const size_t bit : {0u, 7u, 2048u, 4095u}) {
+    std::string mutated = data;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_NE(Crc32(mutated.data(), mutated.size()), clean) << bit;
+  }
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  const uint32_t first = Crc32(data.data(), 10);
+  const uint32_t chained = Crc32(data.data() + 10, data.size() - 10, first);
+  EXPECT_EQ(chained, whole);
 }
 
 // ---------------------------------------------------------------- Random

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -38,6 +39,34 @@ TEST(PagedFileTest, CreateWriteReadBack) {
   EXPECT_EQ(read[0], 0);
   // Beyond-end page reads as zeros too.
   ExpectOk(file->ReadPage(100, read));
+  EXPECT_EQ(read[0], 0);
+}
+
+TEST(PagedFileTest, TruncatedTailPageIsCorruptionNotZeros) {
+  TempDir dir;
+  const std::string path = dir.path() + "/f.tix";
+  {
+    auto file = Unwrap(PagedFile::Create(path));
+    char page[kPageSize];
+    std::fill_n(page, kPageSize, 'y');
+    ExpectOk(file->WritePage(0, page));
+    ExpectOk(file->WritePage(1, page));
+    ExpectOk(file->Sync());
+  }
+  // Chop the second frame in half — a crash mid-write or an external
+  // truncation. The short page must surface as Corruption; silently
+  // zero-filling it would hand the caller fabricated records.
+  std::filesystem::resize_file(
+      path, kFileHeaderSize + kPageFrameSize + kPageFrameSize / 2);
+  auto file = Unwrap(PagedFile::Open(path));
+  EXPECT_EQ(file->page_count(), 1u);
+  char read[kPageSize];
+  ExpectOk(file->ReadPage(0, read));
+  EXPECT_EQ(read[0], 'y');
+  const Status status = file->ReadPage(1, read);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  // Pages past the damage still follow fresh-page semantics.
+  ExpectOk(file->ReadPage(5, read));
   EXPECT_EQ(read[0], 0);
 }
 

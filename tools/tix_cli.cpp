@@ -7,9 +7,13 @@
 //   tix_cli query --db=DIR [--threads=N] [--explain | --stats-json]
 //                 "FOR $a IN ... RETURN $a"          run a query
 //   tix_cli path  --db=DIR "article//sec/p"          holistic path join
+//   tix_cli verify --db=DIR                          check every page + index
 //
 // --threads=N runs score generation (TermJoin) as N doc-partitioned
 // parallel merges; 0 (the default) is the serial single-pass merge.
+//
+// --no-checksums skips per-page CRC verification on reads (format v3
+// files only; see docs/STORAGE.md). Verification is on by default.
 //
 // --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
 // cardinalities and storage counters) after the results; --stats-json
@@ -46,6 +50,7 @@ struct Args {
   size_t threads = 0;
   bool explain = false;
   bool stats_json = false;
+  bool no_checksums = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -67,6 +72,8 @@ Args ParseArgs(int argc, char** argv) {
       args.explain = true;
     } else if (arg == "--stats-json") {
       args.stats_json = true;
+    } else if (arg == "--no-checksums") {
+      args.no_checksums = true;
     } else {
       args.positional.push_back(arg);
     }
@@ -89,10 +96,16 @@ std::string IndexPath(const std::string& db_dir) {
   return db_dir + "/index.tix";
 }
 
+tix::storage::DatabaseOptions DbOptions(const Args& args) {
+  tix::storage::DatabaseOptions options;
+  options.verify_checksums = !args.no_checksums;
+  return options;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: tix_cli <load|index|stats|terms|query> --db=DIR "
-               "[args]\n");
+               "usage: tix_cli <load|index|stats|terms|query|path|verify> "
+               "--db=DIR [args]\n");
   return 2;
 }
 
@@ -101,11 +114,15 @@ int CmdLoad(const Args& args) {
     std::fprintf(stderr, "load: no input files\n");
     return 2;
   }
-  // Open when a catalog exists, else create.
-  auto opened = tix::storage::Database::Open(args.db_dir);
+  // Open when a catalog exists, create when it is absent — but never
+  // blow away a database that exists and fails to open (corruption is
+  // for the user to look at, not for `load` to truncate).
+  auto opened = tix::storage::Database::Open(args.db_dir, DbOptions(args));
+  if (!opened.ok() && !opened.status().IsIOError()) Die(opened.status());
   std::unique_ptr<tix::storage::Database> db =
-      opened.ok() ? std::move(opened).value()
-                  : Check(tix::storage::Database::Create(args.db_dir));
+      opened.ok()
+          ? std::move(opened).value()
+          : Check(tix::storage::Database::Create(args.db_dir, DbOptions(args)));
   for (const std::string& path : args.positional) {
     auto document = Check(tix::xml::ParseXmlFile(path));
     std::string name = path;
@@ -124,7 +141,7 @@ int CmdLoad(const Args& args) {
 }
 
 int CmdIndex(const Args& args) {
-  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
   auto index = Check(tix::index::InvertedIndex::Build(db.get()));
   const tix::Status saved = index.SaveToFile(IndexPath(args.db_dir));
   if (!saved.ok()) Die(saved);
@@ -136,7 +153,7 @@ int CmdIndex(const Args& args) {
 }
 
 int CmdStats(const Args& args) {
-  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
   std::printf("database: %s\n", args.db_dir.c_str());
   std::printf("  nodes:      %s\n",
               tix::FormatWithCommas(static_cast<int64_t>(db->num_nodes()))
@@ -188,7 +205,7 @@ int CmdQuery(const Args& args) {
     std::fprintf(stderr, "query: no query text\n");
     return 2;
   }
-  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
   auto index =
       Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
   tix::query::EngineOptions engine_options;
@@ -253,7 +270,7 @@ int CmdPath(const Args& args) {
   }
   steps[0].parent_child = false;
 
-  auto db = Check(tix::storage::Database::Open(args.db_dir));
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
   tix::WallTimer timer;
   tix::exec::PathStackJoin join(db.get(), steps);
   const auto matches = Check(join.Run());
@@ -274,6 +291,56 @@ int CmdPath(const Args& args) {
   return 0;
 }
 
+int CmdVerify(const Args& args) {
+  // Full scrub: open the database (catalog cross-checks + index
+  // rebuild), read back every page of both data files with checksum
+  // verification forced on, and parse the inverted index. Any damage
+  // comes back as a Status naming the file and page.
+  tix::storage::DatabaseOptions options;
+  options.verify_checksums = true;
+  auto db = Check(tix::storage::Database::Open(args.db_dir, options));
+
+  int problems = 0;
+  const auto scrub = [&problems](tix::storage::PagedFile* file) {
+    char page[tix::storage::kPageSize];
+    for (tix::storage::PageNumber p = 0; p < file->page_count(); ++p) {
+      const tix::Status status = file->ReadPage(p, page);
+      if (!status.ok()) {
+        std::fprintf(stderr, "  %s\n", status.ToString().c_str());
+        ++problems;
+      }
+    }
+    std::printf("  %s: %u pages%s\n", file->path().c_str(),
+                file->page_count(),
+                file->checksummed() ? "" : " (legacy raw, no checksums)");
+  };
+  scrub(db->node_store().file());
+  scrub(db->text_store().file());
+
+  auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
+  if (index.ok()) {
+    std::printf("  %s: %llu terms, %llu postings\n",
+                IndexPath(args.db_dir).c_str(),
+                static_cast<unsigned long long>(index.value().stats().num_terms),
+                static_cast<unsigned long long>(
+                    index.value().stats().num_postings));
+  } else if (index.status().IsIOError()) {
+    std::printf("  index: not built\n");
+  } else {
+    std::fprintf(stderr, "  %s\n", index.status().ToString().c_str());
+    ++problems;
+  }
+
+  if (problems > 0) {
+    std::fprintf(stderr, "verify: %d problem(s) found\n", problems);
+    return 1;
+  }
+  std::printf("verify: ok (%llu nodes, %zu documents)\n",
+              static_cast<unsigned long long>(db->num_nodes()),
+              db->documents().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,5 +352,6 @@ int main(int argc, char** argv) {
   if (args.command == "terms") return CmdTerms(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "path") return CmdPath(args);
+  if (args.command == "verify") return CmdVerify(args);
   return Usage();
 }
