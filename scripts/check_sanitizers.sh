@@ -12,8 +12,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test obs_test storage_test fault_test)
-FILTER="parallel_exec_test|obs_test|storage_test|fault_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -50,11 +50,26 @@ std::vector<double> IrPredicate::Weights() const {
   return weights;
 }
 
+bool WeightedCountScorer::is_monotone() const {
+  for (const double weight : weights_) {
+    if (weight < 0.0) return false;
+  }
+  return true;
+}
+
 double WeightedCountScorer::Score(std::span<const uint32_t> counts) const {
   double score = 0.0;
   const size_t n = std::min(counts.size(), weights_.size());
   for (size_t i = 0; i < n; ++i) score += weights_[i] * counts[i];
   return score;
+}
+
+bool TfIdfScorer::is_monotone() const {
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    const double idf = i < idf_.size() ? idf_[i] : 1.0;
+    if (weights_[i] * idf < 0.0) return false;
+  }
+  return true;
 }
 
 double TfIdfScorer::Score(std::span<const uint32_t> counts) const {

@@ -86,6 +86,13 @@ class Scorer {
   /// `if(!s)` branches).
   virtual bool is_complex() const { return false; }
 
+  /// True when Score is monotone non-decreasing in every per-phrase
+  /// count: increasing any count never lowers the score. This is the
+  /// property that makes count upper bounds score upper bounds, which
+  /// top-K threshold pushdown needs to prune safely. Defaults to false —
+  /// a scorer must opt in explicitly.
+  virtual bool is_monotone() const { return false; }
+
   /// Simple scoring: per-phrase counts only.
   virtual double Score(std::span<const uint32_t> counts) const = 0;
 
@@ -101,6 +108,8 @@ class WeightedCountScorer : public Scorer {
   explicit WeightedCountScorer(std::vector<double> weights)
       : weights_(std::move(weights)) {}
 
+  /// Monotone iff no phrase has a negative weight.
+  bool is_monotone() const override;
   double Score(std::span<const uint32_t> counts) const override;
 
  private:
@@ -114,6 +123,9 @@ class TfIdfScorer : public Scorer {
   TfIdfScorer(std::vector<double> weights, std::vector<double> idf)
       : weights_(std::move(weights)), idf_(std::move(idf)) {}
 
+  /// (1 + log tf) grows with tf, so the score is monotone whenever
+  /// every weight * idf product is non-negative.
+  bool is_monotone() const override;
   double Score(std::span<const uint32_t> counts) const override;
 
  private:

@@ -129,6 +129,12 @@ const char* CounterName(Counter counter) {
       return "text_bytes_read";
     case Counter::kIndexLookups:
       return "index_lookups";
+    case Counter::kTopkBlocksSkipped:
+      return "topk_blocks_skipped";
+    case Counter::kTopkPostingsPruned:
+      return "topk_postings_pruned";
+    case Counter::kTopkFloorUpdates:
+      return "topk_floor_updates";
   }
   return "unknown";
 }

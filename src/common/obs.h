@@ -32,15 +32,19 @@
 
 namespace tix::obs {
 
-/// Work counters charged by the storage/index layers.
+/// Work counters charged by the storage/index layers (first four) and
+/// the top-K threshold-pushdown fast path (last three).
 enum class Counter : int {
   kRecordFetches = 0,  ///< NodeStore::Get calls (paper's "records fetched").
   kBlobReads = 1,      ///< TextStore::Read calls.
   kTextBytesRead = 2,  ///< Bytes returned by TextStore::Read.
   kIndexLookups = 3,   ///< InvertedIndex::Lookup / LookupId calls.
+  kTopkBlocksSkipped = 4,   ///< Skip-block windows leapt via block-max bounds.
+  kTopkPostingsPruned = 5,  ///< Postings bypassed without being merged.
+  kTopkFloorUpdates = 6,    ///< Times the top-K score floor rose.
 };
 
-inline constexpr int kNumCounters = 4;
+inline constexpr int kNumCounters = 7;
 
 /// Stable snake_case name used in EXPLAIN output and the JSON schema.
 const char* CounterName(Counter counter);

@@ -4,6 +4,16 @@
 
 namespace tix::exec {
 
+uint64_t OccurrenceStream::SkipToDoc(storage::DocId doc) {
+  uint64_t skipped = 0;
+  while (const std::optional<Occurrence> occurrence = Peek()) {
+    if (occurrence->doc >= doc) break;
+    Advance();
+    ++skipped;
+  }
+  return skipped;
+}
+
 std::vector<Occurrence> OccurrenceStream::DrainAll() {
   std::vector<Occurrence> out;
   while (auto occurrence = Peek()) {
@@ -22,6 +32,15 @@ std::optional<Occurrence> TermOccurrenceStream::Peek() const {
 
 void TermOccurrenceStream::Advance() {
   if (list_ != nullptr && pos_ < list_->postings.size()) ++pos_;
+}
+
+uint64_t TermOccurrenceStream::SkipToDoc(storage::DocId doc) {
+  if (list_ == nullptr) return 0;
+  const size_t target = list_->LowerBoundDoc(doc);
+  if (target <= pos_) return 0;
+  const uint64_t skipped = target - pos_;
+  pos_ = target;
+  return skipped;
 }
 
 PhraseFinderStream::PhraseFinderStream(
@@ -57,6 +76,19 @@ void PhraseFinderStream::Advance() {
   }
   ++positions_[0];
   FindNextMatch();
+}
+
+uint64_t PhraseFinderStream::SkipToDoc(storage::DocId doc) {
+  if (exhausted_) return 0;
+  if (current_.has_value() && current_->doc >= doc) return 0;
+  const size_t target = lists_[0]->LowerBoundDoc(doc);
+  uint64_t skipped = 0;
+  if (target > positions_[0]) {
+    skipped = target - positions_[0];
+    positions_[0] = target;
+  }
+  FindNextMatch();
+  return skipped;
 }
 
 bool PhraseFinderStream::AdvanceCursor(size_t i, storage::DocId doc,

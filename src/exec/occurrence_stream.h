@@ -51,6 +51,12 @@ class OccurrenceStream {
   virtual std::optional<Occurrence> Peek() const = 0;
   virtual void Advance() = 0;
 
+  /// Repositions the stream at the first occurrence with doc >= `doc`,
+  /// returning how many postings were bypassed without being consumed
+  /// (the top-K pushdown's "postings pruned"). The base implementation
+  /// steps; concrete streams override with an O(log n) doc-offset jump.
+  virtual uint64_t SkipToDoc(storage::DocId doc);
+
   /// Drains the rest of the stream (testing / materializing callers).
   std::vector<Occurrence> DrainAll();
 };
@@ -73,6 +79,7 @@ class TermOccurrenceStream : public OccurrenceStream {
 
   std::optional<Occurrence> Peek() const override;
   void Advance() override;
+  uint64_t SkipToDoc(storage::DocId doc) override;
 
  private:
   const index::PostingList* list_;
@@ -100,6 +107,10 @@ class PhraseFinderStream : public OccurrenceStream {
 
   std::optional<Occurrence> Peek() const override;
   void Advance() override;
+  /// Leaps the anchor term's cursor; the bypassed anchor postings are
+  /// the pruned count (secondary cursors catch up lazily inside the
+  /// merge, as always).
+  uint64_t SkipToDoc(storage::DocId doc) override;
 
   /// Number of posting entries examined (instrumentation for the
   /// Table 5 ablation).

@@ -6,20 +6,24 @@
 
 #include "common/obs.h"
 #include "common/thread_pool.h"
+#include "exec/threshold_operator.h"
 
 namespace tix::exec {
 
 std::vector<DocRange> PlanDocPartitions(const index::InvertedIndex& index,
                                         const algebra::IrPredicate& predicate,
                                         storage::DocId num_docs,
-                                        size_t target_partitions) {
+                                        size_t target_partitions,
+                                        DocRange within) {
   std::vector<DocRange> ranges;
-  if (num_docs == 0) return ranges;
+  const storage::DocId lo = within.begin;
+  const storage::DocId hi = std::min(num_docs, within.end);
+  if (lo >= hi) return ranges;
   const size_t target = std::max<size_t>(1, target_partitions);
 
   // Posting mass per document, from the doc-offset tables: one entry per
   // (term, doc) pair, no posting scan.
-  std::vector<uint64_t> mass(num_docs, 0);
+  std::vector<uint64_t> mass(hi - lo, 0);
   uint64_t total = 0;
   for (const algebra::WeightedPhrase& phrase : predicate.phrases) {
     for (const std::string& term : phrase.terms) {
@@ -31,15 +35,15 @@ std::vector<DocRange> PlanDocPartitions(const index::InvertedIndex& index,
           const uint32_t next = i + 1 < list->doc_offsets.size()
                                     ? list->doc_offsets[i + 1].second
                                     : static_cast<uint32_t>(list->size());
-          if (doc < num_docs) {
-            mass[doc] += next - offset;
+          if (doc >= lo && doc < hi) {
+            mass[doc - lo] += next - offset;
             total += next - offset;
           }
         }
       } else {
         for (const index::Posting& posting : list->postings) {
-          if (posting.doc_id < num_docs) {
-            ++mass[posting.doc_id];
+          if (posting.doc_id >= lo && posting.doc_id < hi) {
+            ++mass[posting.doc_id - lo];
             ++total;
           }
         }
@@ -49,25 +53,25 @@ std::vector<DocRange> PlanDocPartitions(const index::InvertedIndex& index,
   if (total == 0) {
     // No postings at all: split documents evenly so the plan is still a
     // valid cover (each partition's TermJoin just produces nothing).
-    mass.assign(num_docs, 1);
-    total = num_docs;
+    mass.assign(hi - lo, 1);
+    total = hi - lo;
   }
 
   // Greedy cut: close a partition once it holds its share of the mass.
   // Cuts happen only *between* documents, so a partition boundary can
   // never split one document's postings.
   const uint64_t share = (total + target - 1) / target;
-  storage::DocId begin = 0;
+  storage::DocId begin = lo;
   uint64_t acc = 0;
-  for (storage::DocId doc = 0; doc < num_docs; ++doc) {
-    acc += mass[doc];
+  for (storage::DocId doc = lo; doc < hi; ++doc) {
+    acc += mass[doc - lo];
     if (acc >= share && ranges.size() + 1 < target) {
       ranges.push_back(DocRange{begin, doc + 1});
       begin = doc + 1;
       acc = 0;
     }
   }
-  if (begin < num_docs) ranges.push_back(DocRange{begin, num_docs});
+  if (begin < hi) ranges.push_back(DocRange{begin, hi});
   return ranges;
 }
 
@@ -102,21 +106,29 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
   const storage::DocId num_docs =
       static_cast<storage::DocId>(db_->documents().size());
   partitions_ = PlanDocPartitions(*index_, *predicate_, num_docs,
-                                  num_partitions);
+                                  num_partitions, options_.join.range);
   // Pool workers start with no thread-local metrics context; install the
   // caller's (the query's) inside each task so per-partition TermJoin
   // contexts parent to it and the query totals roll up across threads.
   obs::MetricsContext* const ambient = obs::CurrentMetrics();
 
+  // Top-K pushdown: partitions prune against one shared floor. Each
+  // partition's local heap floor is a valid global floor (k elements at
+  // or above it already exist somewhere), so cross-partition publication
+  // only ever tightens pruning — it cannot evict a global-top-K element.
+  const bool pushdown = TermJoinCanPushThreshold(options_.join, *scorer_);
+  TopKFloor shared_floor;
+
   struct PartitionOutput {
     std::vector<ScoredElement> elements;
     TermJoinStats stats;
   };
-  auto run_partition = [this,
-                        ambient](DocRange range) -> Result<PartitionOutput> {
+  auto run_partition = [this, ambient, pushdown, &shared_floor](
+                           DocRange range) -> Result<PartitionOutput> {
     const obs::ScopedMetrics scope(ambient);
     TermJoinOptions join_options = options_.join;
     join_options.range = range;
+    if (pushdown) join_options.shared_floor = &shared_floor;
     TermJoin join(db_, index_, predicate_, scorer_, join_options);
     TIX_ASSIGN_OR_RETURN(std::vector<ScoredElement> elements, join.Run());
     return PartitionOutput{std::move(elements), join.stats()};
@@ -166,7 +178,21 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
     // context, so the sum is exact regardless of what else was running.
     stats_.record_fetches += part.stats.record_fetches;
     stats_.index_lookups += part.stats.index_lookups;
+    stats_.docs_pruned += part.stats.docs_pruned;
+    stats_.blocks_skipped += part.stats.blocks_skipped;
+    stats_.postings_pruned += part.stats.postings_pruned;
+    stats_.floor_updates += part.stats.floor_updates;
     partition_stats_.push_back(part.stats);
+  }
+  if (pushdown) {
+    // Each partition returned its local top-K; the global top-K is a
+    // subset of their union. A final pass through one more operator
+    // reduces the union to the exact serial answer, in Finish() order.
+    ThresholdOperator merge_op(*options_.join.threshold);
+    for (ScoredElement& element : merged) {
+      merge_op.Push(std::move(element));
+    }
+    merged = merge_op.Finish();
   }
   return merged;
 }

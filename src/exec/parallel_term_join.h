@@ -23,7 +23,9 @@ namespace tix::exec {
 
 struct ParallelTermJoinOptions {
   /// Options forwarded to every per-partition TermJoin (`join.range` is
-  /// overwritten with the partition's range).
+  /// overwritten with the partition's range, planned inside the caller's
+  /// `join.range`; `join.shared_floor` is overwritten with a run-local
+  /// floor when the threshold pushes down).
   TermJoinOptions join;
   /// Worker threads. 0 preserves today's serial behavior exactly: one
   /// TermJoin over the full corpus on the calling thread.
@@ -33,15 +35,18 @@ struct ParallelTermJoinOptions {
   size_t num_partitions = 0;
 };
 
-/// Plans contiguous, disjoint doc-id ranges that cover [0, num_docs) and
-/// never split a document, balanced by the predicate's posting volume
-/// per document (computed from the posting lists' doc-offset tables in
-/// O(df), not a posting scan). Returns at most `target_partitions`
-/// non-empty ranges — fewer when there are fewer documents.
+/// Plans contiguous, disjoint doc-id ranges that cover
+/// [within.begin, min(num_docs, within.end)) and never split a document,
+/// balanced by the predicate's posting volume per document (computed
+/// from the posting lists' doc-offset tables in O(df), not a posting
+/// scan). Returns at most `target_partitions` non-empty ranges — fewer
+/// when there are fewer documents. The default `within` covers the whole
+/// corpus, preserving the historical behavior.
 std::vector<DocRange> PlanDocPartitions(const index::InvertedIndex& index,
                                         const algebra::IrPredicate& predicate,
                                         storage::DocId num_docs,
-                                        size_t target_partitions);
+                                        size_t target_partitions,
+                                        DocRange within = {});
 
 class ParallelTermJoin {
  public:
@@ -52,7 +57,11 @@ class ParallelTermJoin {
                    ParallelTermJoinOptions options = {});
 
   /// Runs every partition to completion and returns the concatenated
-  /// output, byte-identical to serial TermJoin::Run().
+  /// output, byte-identical to serial TermJoin::Run(). In top-K pushdown
+  /// mode (see TermJoinOptions::threshold) the partitions prune against
+  /// a shared atomic floor and their partial top-Ks are merged through a
+  /// final ThresholdOperator — the result is the exact serial top-K, in
+  /// descending score order, independent of the partition count.
   Result<std::vector<ScoredElement>> Run();
 
   /// Merged statistics: sums over partitions, except max_stack_depth

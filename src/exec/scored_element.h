@@ -29,10 +29,19 @@ struct ScoredElement {
                          const ScoredElement&) = default;
 };
 
-/// Document-order comparison (doc, start).
+/// Document-order comparison. (doc, start) orders any two *distinct*
+/// elements of a real database (interval numbering gives every element a
+/// unique start), but synthetic elements in tests and benches can share
+/// a position — so the remaining fields break the tie deterministically:
+/// larger intervals (ancestors) first, then node id. Making this a total
+/// order is what lets the top-K heap, ThresholdOperator::Finish and the
+/// threshold-pushdown merge agree on which of several equal-scored
+/// elements survive, independent of arrival order.
 inline bool DocumentOrderLess(const ScoredElement& a, const ScoredElement& b) {
   if (a.doc != b.doc) return a.doc < b.doc;
-  return a.start < b.start;
+  if (a.start != b.start) return a.start < b.start;
+  if (a.end != b.end) return a.end > b.end;
+  return a.node < b.node;
 }
 
 }  // namespace tix::exec

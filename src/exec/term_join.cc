@@ -1,10 +1,18 @@
 #include "exec/term_join.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
 namespace tix::exec {
+
+bool TermJoinCanPushThreshold(const TermJoinOptions& options,
+                              const algebra::Scorer& scorer) {
+  return options.threshold.has_value() &&
+         options.threshold->top_k.has_value() && !scorer.is_complex() &&
+         scorer.is_monotone();
+}
 
 TermJoin::TermJoin(storage::Database* db, const index::InvertedIndex* index,
                    const algebra::IrPredicate* predicate,
@@ -15,7 +23,8 @@ TermJoin::TermJoin(storage::Database* db, const index::InvertedIndex* index,
       scorer_(scorer),
       options_(options),
       complex_(scorer->is_complex()),
-      num_phrases_(predicate->num_phrases()) {}
+      num_phrases_(predicate->num_phrases()),
+      pushdown_(TermJoinCanPushThreshold(options, *scorer)) {}
 
 Status TermJoin::PopAndEmit() {
   StackEntry popped = std::move(stack_.back());
@@ -72,7 +81,14 @@ Status TermJoin::PopAndEmit() {
     context.element_end = popped.end;
     element.score = scorer_->ScoreComplex(context);
   }
-  pending_.push_back(std::move(element));
+  if (pushdown_) {
+    // The running heap absorbs the element; survivors surface in
+    // Finish() order once the input is exhausted.
+    topk_->Push(std::move(element));
+    NoteFloor();
+  } else {
+    pending_.push_back(std::move(element));
+  }
   ++stats_.outputs;
   return Status::OK();
 }
@@ -153,7 +169,80 @@ Status TermJoin::Open() {
   metrics_.set_parent(obs::CurrentMetrics());
   const obs::ScopedMetrics scope(&metrics_);
   streams_ = MakeOccurrenceStreams(*index_, *predicate_, options_.range);
+  if (pushdown_) {
+    topk_.emplace(*options_.threshold);
+    oracle_.emplace(*index_, *predicate_);
+    current_doc_bound_ = std::numeric_limits<double>::infinity();
+    last_floor_ = -std::numeric_limits<double>::infinity();
+  }
   return Status::OK();
+}
+
+bool TermJoin::CannotBeat(double bound) const {
+  const algebra::ThresholdSpec& spec = *options_.threshold;
+  // The operator keeps only score > min_score, so a bound at or below
+  // min_score is out.
+  if (spec.min_score.has_value() && !(bound > *spec.min_score)) return true;
+  // Against either floor the comparison is strict: an element tied with
+  // the heap minimum can still displace it on document order.
+  const std::optional<double> local = topk_->HeapFloor();
+  if (local.has_value() && bound < *local) return true;
+  return options_.shared_floor != nullptr &&
+         bound < options_.shared_floor->Load();
+}
+
+double TermJoin::DocBound(storage::DocId doc) {
+  oracle_->DocBoundCounts(doc, &bound_counts_);
+  return scorer_->Score(bound_counts_);
+}
+
+void TermJoin::NoteFloor() {
+  const std::optional<double> floor = topk_->HeapFloor();
+  if (!floor.has_value() || *floor <= last_floor_) return;
+  last_floor_ = *floor;
+  ++stats_.floor_updates;
+  obs::Count(obs::Counter::kTopkFloorUpdates);
+  if (options_.shared_floor != nullptr) options_.shared_floor->Raise(*floor);
+}
+
+bool TermJoin::SkipUncompetitiveDocs(storage::DocId first) {
+  storage::DocId doc = first;
+  const storage::DocId range_end = options_.range.end;
+  bool moved = false;
+  while (doc < range_end) {
+    current_doc_bound_ = DocBound(doc);
+    if (!CannotBeat(current_doc_bound_)) break;
+    moved = true;
+    ++stats_.docs_pruned;
+    ++doc;
+    // Leap whole skip-block windows whose optimistic block-max bound is
+    // already uncompetitive — the Block-Max-WAND move, without touching
+    // a single posting inside the window.
+    while (doc < range_end) {
+      storage::DocId window_end = 0;
+      oracle_->WindowBoundCounts(doc, &bound_counts_, &window_end);
+      if (!CannotBeat(scorer_->Score(bound_counts_))) break;
+      ++stats_.blocks_skipped;
+      obs::Count(obs::Counter::kTopkBlocksSkipped);
+      doc = window_end;
+    }
+    if (doc >= range_end) break;
+    // Land on a document that actually has a posting; empty stretches
+    // carry no candidates.
+    doc = oracle_->NextCandidateDoc(doc);
+  }
+  if (moved) SeekStreamsTo(std::min(doc, range_end));
+  return moved;
+}
+
+void TermJoin::SeekStreamsTo(storage::DocId doc) {
+  for (const std::unique_ptr<OccurrenceStream>& stream : streams_) {
+    const uint64_t skipped = stream->SkipToDoc(doc);
+    if (skipped > 0) {
+      stats_.postings_pruned += skipped;
+      obs::Count(obs::Counter::kTopkPostingsPruned, skipped);
+    }
+  }
 }
 
 Status TermJoin::Pump() {
@@ -181,11 +270,30 @@ Status TermJoin::Pump() {
       while (!stack_.empty()) {
         TIX_RETURN_IF_ERROR(PopAndEmit());
       }
+      if (pushdown_) {
+        // Release the surviving top-K, in Finish() order (descending
+        // score) — exactly what the post-pass Threshold would return.
+        for (ScoredElement& element : topk_->Finish()) {
+          pending_.push_back(std::move(element));
+        }
+      }
       stats_.record_fetches =
           metrics_.value(obs::Counter::kRecordFetches);
       stats_.index_lookups = metrics_.value(obs::Counter::kIndexLookups);
       break;
     }
+
+    if (pushdown_ && (stack_.empty() ||
+                      stack_.back().doc != min_occurrence.doc)) {
+      // Document boundary. Flush the finished document first (its pops
+      // may raise the floor), then decide whether the next candidate
+      // documents are worth merging at all.
+      while (!stack_.empty()) {
+        TIX_RETURN_IF_ERROR(PopAndEmit());
+      }
+      if (SkipUncompetitiveDocs(min_occurrence.doc)) continue;  // re-peek
+    }
+
     streams_[static_cast<size_t>(min_stream)]->Advance();
     ++stats_.occurrences;
 
@@ -194,6 +302,17 @@ Status TermJoin::Pump() {
            !(stack_.back().doc == min_occurrence.doc &&
              stack_.back().end > min_occurrence.word_pos)) {
       TIX_RETURN_IF_ERROR(PopAndEmit());
+    }
+
+    if (pushdown_ && CannotBeat(current_doc_bound_)) {
+      // Residual-bound cutoff: the floor rose (typically via another
+      // partition's shared-floor updates) past everything this document
+      // can still produce. Drop the partial stack — every entry is
+      // bounded by current_doc_bound_ — and leap to the next document.
+      stack_.clear();
+      SeekStreamsTo(min_occurrence.doc + 1);
+      ++stats_.docs_pruned;
+      continue;
     }
 
     TIX_RETURN_IF_ERROR(PushAncestors(min_occurrence.text_node));

@@ -7,10 +7,13 @@
 #include <vector>
 
 #include "algebra/scoring.h"
+#include "algebra/threshold.h"
 #include "common/obs.h"
 #include "common/result.h"
 #include "exec/occurrence_stream.h"
+#include "exec/score_bound.h"
 #include "exec/scored_element.h"
+#include "exec/threshold_operator.h"
 #include "index/inverted_index.h"
 #include "storage/database.h"
 
@@ -37,7 +40,24 @@ struct TermJoinOptions {
   /// slice of the merge produces exactly the slice of the full output —
   /// the property doc-partitioned ParallelTermJoin builds on.
   DocRange range;
+  /// Threshold pushdown: when set with `top_k` and the scorer is simple
+  /// and monotone, the join runs in early-terminating top-K mode — it
+  /// keeps the running top-K heap itself and uses block-max score
+  /// bounds to skip documents (and whole skip-block windows) that
+  /// cannot beat the heap floor. The emitted set is then exactly the
+  /// elements ApplyThreshold would keep, in descending score order.
+  /// Ignored (full output, unchanged order) when the scorer is complex
+  /// or non-monotone, or when top_k is unset.
+  std::optional<algebra::ThresholdSpec> threshold;
+  /// Optional floor shared between the partitions of a parallel top-K
+  /// join; must outlive the join. Only read/raised in pushdown mode.
+  TopKFloor* shared_floor = nullptr;
 };
+
+/// True when `options` + `scorer` activate the early-terminating top-K
+/// mode (the planner and ParallelTermJoin consult the same rule).
+bool TermJoinCanPushThreshold(const TermJoinOptions& options,
+                              const algebra::Scorer& scorer);
 
 struct TermJoinStats {
   uint64_t occurrences = 0;
@@ -50,6 +70,15 @@ struct TermJoinStats {
   uint64_t record_fetches = 0;
   /// Inverted-index lookups issued when opening the streams.
   uint64_t index_lookups = 0;
+  // Top-K pushdown instrumentation (all zero outside pushdown mode).
+  /// Documents whose exact score bound could not beat the floor.
+  uint64_t docs_pruned = 0;
+  /// Skip-block windows leapt on their block-max bound alone.
+  uint64_t blocks_skipped = 0;
+  /// Postings bypassed without entering the merge.
+  uint64_t postings_pruned = 0;
+  /// Times the top-K score floor rose.
+  uint64_t floor_updates = 0;
 };
 
 class TermJoin {
@@ -97,6 +126,27 @@ class TermJoin {
   /// input is exhausted.
   Status Pump();
 
+  // --- Top-K pushdown helpers (active only when pushdown_). -----------
+  /// True when an element bounded by `bound` can no longer enter the
+  /// result: below-or-at min_score, or strictly below the local heap
+  /// floor / the shared floor (strict, because a tied score can still
+  /// win on document order).
+  bool CannotBeat(double bound) const;
+  /// Score upper bound for any element of `doc` (exact per-doc counts).
+  double DocBound(storage::DocId doc);
+  /// Tracks the heap floor after a Push; publishes rises to the shared
+  /// floor.
+  void NoteFloor();
+  /// From candidate doc `first`, skips every document whose bound cannot
+  /// beat the floor, leaping whole block windows when their block-max
+  /// bound is uncompetitive. Repositions the streams and returns true
+  /// when anything was skipped (the caller re-peeks). Also refreshes
+  /// current_doc_bound_ for the document the merge lands on.
+  bool SkipUncompetitiveDocs(storage::DocId first);
+  /// Moves every stream to the first occurrence with doc >= `doc`,
+  /// charging the bypassed postings to the prune counters.
+  void SeekStreamsTo(storage::DocId doc);
+
   storage::Database* db_;
   const index::InvertedIndex* index_;
   const algebra::IrPredicate* predicate_;
@@ -110,6 +160,19 @@ class TermJoin {
   std::deque<ScoredElement> pending_;
   bool open_ = false;
   bool input_done_ = false;
+  /// Early-terminating top-K mode (see TermJoinOptions::threshold).
+  bool pushdown_ = false;
+  /// In pushdown mode, emitted elements go through this heap instead of
+  /// pending_; Finish() order (descending score) reaches pending_ only
+  /// when the input is exhausted.
+  std::optional<ThresholdOperator> topk_;
+  std::optional<ScoreBoundOracle> oracle_;
+  std::vector<uint32_t> bound_counts_;  // scratch for the oracle
+  /// Score upper bound of the document currently being merged; lets the
+  /// merge abandon the rest of a document when the floor overtakes it.
+  double current_doc_bound_ = 0.0;
+  /// Last floor value accounted in stats_.floor_updates.
+  double last_floor_ = 0.0;
   /// Charged for all storage/index work between Open and exhaustion.
   /// Parented to the context current at Open so per-query totals still
   /// roll up.

@@ -1,6 +1,7 @@
 #include "exec/threshold_operator.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace tix::exec {
 
@@ -15,19 +16,32 @@ void ThresholdOperator::Push(ScoredElement element) {
     return;
   }
   const size_t k = *spec_.top_k;
-  if (k == 0) return;
+  if (k == 0) {
+    ++dropped_by_heap_;
+    return;
+  }
   if (kept_.size() < k) {
     kept_.push_back(std::move(element));
     std::push_heap(kept_.begin(), kept_.end(), HeapLess());
     return;
   }
   // kept_ is a min-heap on score: kept_[0] is the weakest survivor.
+  // Whether the offered element or the evicted one is discarded, exactly
+  // one element leaves the running top-K here.
   HeapLess less;
   if (less(element, kept_[0])) {
     std::pop_heap(kept_.begin(), kept_.end(), less);
     kept_.back() = std::move(element);
     std::push_heap(kept_.begin(), kept_.end(), less);
   }
+  ++dropped_by_heap_;
+}
+
+std::optional<double> ThresholdOperator::HeapFloor() const {
+  if (!spec_.top_k.has_value()) return std::nullopt;
+  if (*spec_.top_k == 0) return std::numeric_limits<double>::infinity();
+  if (kept_.size() < *spec_.top_k) return std::nullopt;
+  return kept_[0].score;
 }
 
 std::vector<ScoredElement> ThresholdOperator::Finish() {

@@ -1,6 +1,7 @@
 #ifndef TIX_EXEC_THRESHOLD_OPERATOR_H_
 #define TIX_EXEC_THRESHOLD_OPERATOR_H_
 
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -29,6 +30,19 @@ class ThresholdOperator {
 
   uint64_t pushed() const { return pushed_; }
   uint64_t dropped_by_score() const { return dropped_by_score_; }
+  /// Elements rejected by (or evicted from) the full top-K heap. The
+  /// accounting invariant is pushed == kept + dropped_by_score +
+  /// dropped_by_heap at all times.
+  uint64_t dropped_by_heap() const { return dropped_by_heap_; }
+  /// Elements currently retained.
+  size_t kept() const { return kept_.size(); }
+
+  /// Score floor of the top-K heap: once the heap holds k elements, any
+  /// element scoring strictly below the floor can never be kept (a tied
+  /// element still can, on document order — pruning must use strict <).
+  /// nullopt while the heap is not yet full or top_k is unset; +infinity
+  /// for top_k == 0 (nothing is ever kept).
+  std::optional<double> HeapFloor() const;
 
  private:
   struct HeapLess {
@@ -44,6 +58,7 @@ class ThresholdOperator {
   std::vector<ScoredElement> kept_;  // heap when top_k is set
   uint64_t pushed_ = 0;
   uint64_t dropped_by_score_ = 0;
+  uint64_t dropped_by_heap_ = 0;
 };
 
 }  // namespace tix::exec

@@ -24,6 +24,7 @@ constexpr uint64_t kIndexMagic = 0x5449581049445802ULL;  // "TIX\x10IDX\x02"
 void PostingList::BuildSkips() {
   skips.clear();
   doc_offsets.clear();
+  max_doc_count = 0;
   if (postings.empty()) return;
   skips.reserve(postings.size() / kSkipInterval + 1);
   storage::DocId prev_doc = postings[0].doc_id + 1;  // != first doc
@@ -35,6 +36,21 @@ void PostingList::BuildSkips() {
     if (posting.doc_id != prev_doc) {
       doc_offsets.emplace_back(posting.doc_id, i);
       prev_doc = posting.doc_id;
+    }
+  }
+  // Second pass: block-max metadata. A document's *total* count is
+  // charged to every block its postings touch, so a block's bound stays
+  // valid for documents whose postings straddle block boundaries.
+  for (size_t d = 0; d < doc_offsets.size(); ++d) {
+    const uint32_t begin = doc_offsets[d].second;
+    const uint32_t end = d + 1 < doc_offsets.size()
+                             ? doc_offsets[d + 1].second
+                             : static_cast<uint32_t>(postings.size());
+    const uint32_t count = end - begin;
+    max_doc_count = std::max(max_doc_count, count);
+    for (size_t b = begin / kSkipInterval; b <= (end - 1) / kSkipInterval;
+         ++b) {
+      skips[b].max_doc_count = std::max(skips[b].max_doc_count, count);
     }
   }
 }
@@ -56,6 +72,34 @@ size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
         return posting.doc_id < target;
       });
   return static_cast<size_t>(it - postings.begin());
+}
+
+uint32_t PostingList::DocPostingCount(storage::DocId doc) const {
+  if (postings.empty() || doc == UINT32_MAX) return 0;
+  const size_t lo = LowerBoundDoc(doc);
+  if (lo >= postings.size() || postings[lo].doc_id != doc) return 0;
+  return static_cast<uint32_t>(LowerBoundDoc(doc + 1) - lo);
+}
+
+PostingList::BlockBound PostingList::BlockBoundAt(storage::DocId from) const {
+  if (postings.empty()) return BlockBound{0, UINT32_MAX};
+  if (skips.empty()) {
+    // No metadata: an unbounded estimate over a one-document window
+    // keeps callers correct without pretending to know anything.
+    return BlockBound{UINT32_MAX,
+                      from == UINT32_MAX ? UINT32_MAX : from + 1};
+  }
+  const size_t pos = LowerBoundDoc(from);
+  if (pos >= postings.size()) return BlockBound{0, UINT32_MAX};
+  const size_t block = pos / kSkipInterval;
+  BlockBound bound;
+  bound.max_doc_count = skips[block].max_doc_count;
+  if (block + 1 < skips.size()) {
+    // The next block's first doc may equal `from` when one document
+    // straddles the boundary; clamp so the window always advances.
+    bound.window_end = std::max(skips[block + 1].doc_id, from + 1);
+  }
+  return bound;
 }
 
 size_t PostingList::SkipForward(size_t from, storage::DocId doc,

@@ -63,6 +63,14 @@ struct SkipEntry {
   uint32_t word_pos = 0;
   /// Index of the block's first posting in `postings`.
   uint32_t offset = 0;
+  /// Block-max score metadata: the largest *total* per-document posting
+  /// count, over all documents with at least one posting in this block.
+  /// A document's count is its count in the whole list, not just the
+  /// slice inside the block, so the value upper-bounds the term's
+  /// contribution to any element of any document the block touches —
+  /// exactly what a top-K merge needs to discard the block against a
+  /// score floor without decoding it.
+  uint32_t max_doc_count = 0;
 };
 
 /// All occurrences of one term plus its collection statistics.
@@ -84,6 +92,9 @@ struct PostingList {
   /// (doc_id, offset of the doc's first posting), one entry per distinct
   /// document — makes doc-range partitioning an O(log n) slice.
   std::vector<std::pair<storage::DocId, uint32_t>> doc_offsets;
+  /// List-level bound: the largest per-document posting count anywhere
+  /// in the list (0 when empty or when BuildSkips has not run).
+  uint32_t max_doc_count = 0;
 
   size_t size() const { return postings.size(); }
   bool empty() const { return postings.empty(); }
@@ -102,6 +113,26 @@ struct PostingList {
   /// step/verify from `result` (blocks are only block-aligned).
   size_t SkipForward(size_t from, storage::DocId doc,
                      uint32_t word_pos) const;
+
+  /// Exact number of postings for `doc`. O(log n) via doc_offsets (or a
+  /// direct binary search when they are absent).
+  uint32_t DocPostingCount(storage::DocId doc) const;
+
+  /// Upper bound on the per-document posting count for every document in
+  /// [`from`, returned `window_end`), derived from the skip block that
+  /// covers the first posting at or after `from`.
+  struct BlockBound {
+    /// Safe upper bound on any document's total count in the window.
+    uint32_t max_doc_count = 0;
+    /// First doc id past the window; UINT32_MAX when the window extends
+    /// to the end of the list (or the list is exhausted at `from`).
+    storage::DocId window_end = UINT32_MAX;
+  };
+
+  /// Without skip metadata (hand-built list) the bound degrades to
+  /// {UINT32_MAX, from + 1}: never wrong, never useful — callers fall
+  /// back to exact per-doc counts.
+  BlockBound BlockBoundAt(storage::DocId from) const;
 
   /// Validates the invariants every merge relies on: postings strictly
   /// ascending by (doc_id, word_pos), node ids non-decreasing within a

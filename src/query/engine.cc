@@ -109,6 +109,12 @@ void AttachTermJoinStats(obs::OperatorSpan* span,
   node->SetCounter("occurrences", stats.occurrences);
   node->SetCounter("stack_pushes", stats.stack_pushes);
   node->SetCounter("max_stack_depth", stats.max_stack_depth);
+  // blocks skipped / postings pruned / floor updates reach the span
+  // through its metrics context (obs::Count); only docs_pruned has no
+  // enum counter and rides on the stats struct.
+  if (stats.docs_pruned > 0) {
+    node->SetCounter("topk_docs_pruned", stats.docs_pruned);
+  }
   const std::vector<exec::DocRange>& partitions = join.partitions();
   const std::vector<exec::TermJoinStats>& partition_stats =
       join.partition_stats();
@@ -123,6 +129,17 @@ void AttachTermJoinStats(obs::OperatorSpan* span,
                      partition_stats[i].record_fetches);
     child.SetCounter("occurrences", partition_stats[i].occurrences);
     child.SetCounter("stack_pushes", partition_stats[i].stack_pushes);
+    if (partition_stats[i].docs_pruned > 0) {
+      child.SetCounter("topk_docs_pruned", partition_stats[i].docs_pruned);
+    }
+    if (partition_stats[i].blocks_skipped > 0) {
+      child.SetCounter(obs::CounterName(obs::Counter::kTopkBlocksSkipped),
+                       partition_stats[i].blocks_skipped);
+    }
+    if (partition_stats[i].postings_pruned > 0) {
+      child.SetCounter(obs::CounterName(obs::Counter::kTopkPostingsPruned),
+                       partition_stats[i].postings_pruned);
+    }
     node->AddChild(std::move(child));
   }
 }
@@ -214,6 +231,13 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
   const std::vector<PathStep>& steps = query.path.steps;
   const PathStep& target_step = steps.back();
 
+  algebra::ThresholdSpec threshold_spec;
+  if (query.threshold.has_value()) {
+    threshold_spec.min_score = query.threshold->min_score;
+    threshold_spec.top_k = query.threshold->top_k;
+  }
+  bool pushed_down = false;
+
   // ---- Anchors: the structural part (every step but the last). -------
   std::vector<storage::NodeId> anchor_nodes;
   std::vector<exec::ScoredElement> anchors;
@@ -259,11 +283,33 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
         algebra::IrPredicate::FooStyle(clause.primary, clause.desirable);
     TIX_ASSIGN_OR_RETURN(scorer, MakeScorerForClause(clause, predicate));
 
+    // Threshold pushdown eligibility. Every condition guards a way the
+    // downstream pipeline could still drop or reorder scored elements,
+    // which would make an early top-K wrong:
+    //  - top_k must be set (min_score alone cannot terminate a merge);
+    //  - the scorer must be simple and monotone, or count bounds are
+    //    not score bounds;
+    //  - no Pick (it filters between TermJoin and Threshold);
+    //  - a single-step `*` descendant path, so Scope (anchored at the
+    //    document root) keeps every scored element of the query's
+    //    document — and the join is restricted to that document, since
+    //    a global top-K over other documents would answer the wrong
+    //    query.
+    const bool pushdown =
+        options_.threshold_pushdown && threshold_spec.top_k.has_value() &&
+        !query.pick.has_value() && steps.size() == 1 &&
+        target_step.name == "*" && target_step.descendant &&
+        !scorer->is_complex() && scorer->is_monotone();
+    pushed_down = pushdown;
+
     std::vector<exec::ScoredElement> all_scored;
     {
       std::string detail = options_.enhanced_term_join ? "enhanced" : "plain";
       if (options_.num_threads > 0) {
         detail += StrFormat(", threads=%zu", options_.num_threads);
+      }
+      if (pushdown) {
+        detail += StrFormat(", topk-pushdown(k=%zu)", *threshold_spec.top_k);
       }
       obs::OperatorSpan span(
           plan, options_.num_threads > 0 ? "ParallelTermJoin" : "TermJoin",
@@ -271,6 +317,11 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
       exec::ParallelTermJoinOptions join_options;
       join_options.join.enhanced = options_.enhanced_term_join;
       join_options.num_threads = options_.num_threads;
+      if (pushdown) {
+        join_options.join.threshold = threshold_spec;
+        join_options.join.range =
+            exec::DocRange{doc.doc_id, doc.doc_id + 1};
+      }
       exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
                                   join_options);
       TIX_ASSIGN_OR_RETURN(all_scored, join.Run());
@@ -400,23 +451,22 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
   }
 
   // ---- Threshold / top-K. ---------------------------------------------
-  algebra::ThresholdSpec spec;
-  if (query.threshold.has_value()) {
-    spec.min_score = query.threshold->min_score;
-    spec.top_k = query.threshold->top_k;
-  }
+  // In pushdown mode the heavy lifting already happened inside TermJoin
+  // and `scored` holds (at most) the top-K; re-applying the operator to
+  // the survivors is idempotent and keeps one code path.
   {
     std::string detail;
-    if (spec.min_score.has_value()) {
-      detail += "min_score=" + FormatDouble(*spec.min_score, 2);
+    if (threshold_spec.min_score.has_value()) {
+      detail += "min_score=" + FormatDouble(*threshold_spec.min_score, 2);
     }
-    if (spec.top_k.has_value()) {
+    if (threshold_spec.top_k.has_value()) {
       if (!detail.empty()) detail += ", ";
-      detail += StrFormat("top_k=%zu", *spec.top_k);
+      detail += StrFormat("top_k=%zu", *threshold_spec.top_k);
     }
     if (detail.empty()) detail = "pass-through";
+    if (pushed_down) detail += ", pushed down";
     obs::OperatorSpan span(plan, "Threshold", std::move(detail));
-    exec::ThresholdOperator threshold(spec);
+    exec::ThresholdOperator threshold(threshold_spec);
     for (exec::ScoredElement& element : scored) {
       threshold.Push(std::move(element));
     }
@@ -426,6 +476,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
     span.set_rows(output.results.size());
     span.SetCounter("pushed", threshold.pushed());
     span.SetCounter("dropped_by_score", threshold.dropped_by_score());
+    span.SetCounter("dropped_by_heap", threshold.dropped_by_heap());
   }
   output.stats.returned = output.results.size();
   return output;

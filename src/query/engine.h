@@ -69,6 +69,15 @@ struct EngineOptions {
   /// identical either way; only the plan tree (and its small timing
   /// overhead) is gated.
   bool collect_metrics = false;
+  /// Push an eligible top-K threshold into TermJoin (block-max bounds +
+  /// early termination). The engine falls back to the materialize-then-
+  /// threshold pipeline whenever pushdown could change results: complex
+  /// or non-monotone scorers, min_score without top_k, Pick between
+  /// TermJoin and Threshold, multi-step paths or named targets (whose
+  /// Scope filters elements after scoring). Results are identical either
+  /// way; only work saved differs. Disable to force the post-pass (the
+  /// CLI's --no-pushdown, equivalence tests, benches).
+  bool threshold_pushdown = true;
 };
 
 class QueryEngine {

@@ -4,7 +4,8 @@
 //   tix_cli index --db=DIR                           build + persist index
 //   tix_cli stats --db=DIR                           database/index stats
 //   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
-//   tix_cli query --db=DIR [--threads=N] [--explain | --stats-json]
+//   tix_cli query --db=DIR [--threads=N] [--no-pushdown]
+//                 [--explain | --stats-json]
 //                 "FOR $a IN ... RETURN $a"          run a query
 //   tix_cli path  --db=DIR "article//sec/p"          holistic path join
 //   tix_cli verify --db=DIR                          check every page + index
@@ -14,6 +15,11 @@
 //
 // --no-checksums skips per-page CRC verification on reads (format v3
 // files only; see docs/STORAGE.md). Verification is on by default.
+//
+// --no-pushdown disables top-K threshold pushdown (block-max bounds +
+// early-terminating TermJoin; see docs/ALGEBRA.md) and forces the
+// materialize-then-threshold pipeline. Results are identical; the flag
+// exists for A/B measurement and as an escape hatch.
 //
 // --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
 // cardinalities and storage counters) after the results; --stats-json
@@ -51,6 +57,7 @@ struct Args {
   bool explain = false;
   bool stats_json = false;
   bool no_checksums = false;
+  bool no_pushdown = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -74,6 +81,8 @@ Args ParseArgs(int argc, char** argv) {
       args.stats_json = true;
     } else if (arg == "--no-checksums") {
       args.no_checksums = true;
+    } else if (arg == "--no-pushdown") {
+      args.no_pushdown = true;
     } else {
       args.positional.push_back(arg);
     }
@@ -211,6 +220,7 @@ int CmdQuery(const Args& args) {
   tix::query::EngineOptions engine_options;
   engine_options.num_threads = args.threads;
   engine_options.collect_metrics = args.explain || args.stats_json;
+  engine_options.threshold_pushdown = !args.no_pushdown;
   tix::query::QueryEngine engine(db.get(), &index, engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
   if (args.stats_json) {
