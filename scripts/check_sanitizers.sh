@@ -3,17 +3,18 @@
 # under ASan+UBSan and runs them. The targets cover every code path
 # where threads share state (the doc-partitioned ParallelTermJoin and
 # the per-query metrics contexts, including the concurrent-query stats
-# regression in obs_test) plus the storage fault/corruption suites: the
-# fuzz test in fault_test mutates saved databases hundreds of times, so
-# running it under ASan/UBSan is what turns "no crash observed" into
-# "no UB observed".
+# regression in obs_test, and the sharded decoded-block cache exercised
+# by block_index_test) plus the storage fault/corruption suites: the
+# fuzz tests in fault_test and block_index_test mutate saved files
+# hundreds of times, so running them under ASan/UBSan is what turns
+# "no crash observed" into "no UB observed".
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -1,0 +1,89 @@
+#include "common/block_codec.h"
+
+#include "common/varint.h"
+
+namespace tix::codec {
+namespace {
+
+/// Bounded LEB128 decode of one uint32. Returns the advanced pointer, or
+/// nullptr on truncated input, a fifth byte carrying more than the top
+/// four value bits, or a continuation past the fifth byte. Kept local
+/// (instead of GetVarint32's string_view interface) so the per-posting
+/// hot loop works on raw pointers with no view re-slicing.
+inline const uint8_t* DecodeU32(const uint8_t* p, const uint8_t* end,
+                                uint32_t* out) {
+  uint32_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (p >= end) return nullptr;
+    const uint32_t byte = *p++;
+    result |= (byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (i == 4 && (byte >> 4) != 0) return nullptr;  // beyond 32 bits
+      *out = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // five continuation bytes: overlong
+}
+
+}  // namespace
+
+void EncodeBlockTail(const uint32_t* triples, size_t count,
+                     std::string* out) {
+  uint32_t prev_doc = triples[0];
+  uint32_t prev_node = triples[1];
+  uint32_t prev_pos = triples[2];
+  for (size_t i = 1; i < count; ++i) {
+    const uint32_t doc = triples[3 * i];
+    const uint32_t node = triples[3 * i + 1];
+    const uint32_t pos = triples[3 * i + 2];
+    const uint32_t doc_delta = doc - prev_doc;
+    PutVarint32(out, doc_delta);
+    if (doc_delta != 0) {
+      prev_node = 0;
+      prev_pos = 0;
+    }
+    PutVarint32(out, node - prev_node);
+    PutVarint32(out, pos - prev_pos);
+    prev_doc = doc;
+    prev_node = node;
+    prev_pos = pos;
+  }
+}
+
+Status DecodeBlockTail(std::string_view bytes, size_t count,
+                       uint32_t* triples) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint8_t* const end = p + bytes.size();
+  uint32_t prev_doc = triples[0];
+  uint32_t prev_node = triples[1];
+  uint32_t prev_pos = triples[2];
+  for (size_t i = 1; i < count; ++i) {
+    uint32_t doc_delta = 0;
+    uint32_t node_delta = 0;
+    uint32_t pos_delta = 0;
+    if ((p = DecodeU32(p, end, &doc_delta)) == nullptr ||
+        (p = DecodeU32(p, end, &node_delta)) == nullptr ||
+        (p = DecodeU32(p, end, &pos_delta)) == nullptr) {
+      return Status::Corruption("posting block: truncated or overlong varint");
+    }
+    if (doc_delta != 0) {
+      prev_node = 0;
+      prev_pos = 0;
+    }
+    prev_doc += doc_delta;
+    prev_node += node_delta;
+    prev_pos += pos_delta;
+    triples[3 * i] = prev_doc;
+    triples[3 * i + 1] = prev_node;
+    triples[3 * i + 2] = prev_pos;
+  }
+  if (p != end) {
+    return Status::Corruption("posting block: trailing bytes after tail");
+  }
+  return Status::OK();
+}
+
+}  // namespace tix::codec

@@ -1,0 +1,51 @@
+#ifndef TIX_COMMON_BLOCK_CODEC_H_
+#define TIX_COMMON_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file
+/// Delta+varint block codec for posting triples (doc, node, pos).
+///
+/// A block of up to kSkipInterval postings is stored as its *tail*: the
+/// first triple lives uncompressed in the block's skip entry (it is the
+/// seek key, so merges read it without touching the byte stream), and
+/// every successor is coded against its predecessor with exactly the
+/// scheme the on-disk index has always used:
+///
+///   varint doc_delta
+///   varint node_delta   (absolute node id when doc_delta != 0)
+///   varint pos_delta    (absolute word position when doc_delta != 0)
+///
+/// Keeping the in-memory block encoding identical to the wire encoding
+/// means SaveToFile can copy block bytes verbatim and LoadFromFile never
+/// materializes a posting vector. The codec layer knows nothing about
+/// index types: it moves flat uint32 triples, and the index layer
+/// supplies `Posting` storage (three uint32 fields, statically asserted
+/// there to have exactly this layout).
+
+namespace tix::codec {
+
+/// Appends the encoded tail of a block to `out`: triples[1..count) delta
+/// coded against their predecessors, starting from triples[0]. A
+/// one-posting block has an empty tail. `triples` holds 3 * count
+/// uint32 values laid out (doc, node, pos).
+void EncodeBlockTail(const uint32_t* triples, size_t count, std::string* out);
+
+/// Inverse of EncodeBlockTail. `triples[0..2]` must already hold the
+/// block head (from the skip entry); fills triples[3 .. 3*count).
+/// `bytes` must contain exactly the block's tail — truncated, overlong
+/// or trailing input returns Corruption. Decoded values may wrap on
+/// adversarial input; callers validate ordering once at load time
+/// (PostingList::FinishCompressed), after which decoding the same bytes
+/// is deterministic and cannot fail.
+Status DecodeBlockTail(std::string_view bytes, size_t count,
+                       uint32_t* triples);
+
+}  // namespace tix::codec
+
+#endif  // TIX_COMMON_BLOCK_CODEC_H_

@@ -135,6 +135,14 @@ const char* CounterName(Counter counter) {
       return "topk_postings_pruned";
     case Counter::kTopkFloorUpdates:
       return "topk_floor_updates";
+    case Counter::kIndexBlocksScanned:
+      return "index_blocks_scanned";
+    case Counter::kIndexBlocksDecoded:
+      return "index_blocks_decoded";
+    case Counter::kIndexBlockCacheHits:
+      return "index_block_cache_hits";
+    case Counter::kIndexBlockCacheEvictions:
+      return "index_block_cache_evictions";
   }
   return "unknown";
 }

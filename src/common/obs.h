@@ -32,8 +32,9 @@
 
 namespace tix::obs {
 
-/// Work counters charged by the storage/index layers (first four) and
-/// the top-K threshold-pushdown fast path (last three).
+/// Work counters charged by the storage/index layers (first four), the
+/// top-K threshold-pushdown fast path (next three) and the lazy-decode
+/// posting-block machinery (last four).
 enum class Counter : int {
   kRecordFetches = 0,  ///< NodeStore::Get calls (paper's "records fetched").
   kBlobReads = 1,      ///< TextStore::Read calls.
@@ -42,9 +43,16 @@ enum class Counter : int {
   kTopkBlocksSkipped = 4,   ///< Skip-block windows leapt via block-max bounds.
   kTopkPostingsPruned = 5,  ///< Postings bypassed without being merged.
   kTopkFloorUpdates = 6,    ///< Times the top-K score floor rose.
+  /// Posting-block window loads by BlockCursor (cache hits + decodes).
+  kIndexBlocksScanned = 7,
+  /// Blocks varint-decoded (cache misses). Always <= blocks scanned;
+  /// with pushdown on, the gap is decode work the pruning saved.
+  kIndexBlocksDecoded = 8,
+  kIndexBlockCacheHits = 9,       ///< Decoded-block cache hits.
+  kIndexBlockCacheEvictions = 10,  ///< Entries evicted to stay in budget.
 };
 
-inline constexpr int kNumCounters = 7;
+inline constexpr int kNumCounters = 11;
 
 /// Stable snake_case name used in EXPLAIN output and the JSON schema.
 const char* CounterName(Counter counter);

@@ -24,14 +24,14 @@ std::vector<Occurrence> OccurrenceStream::DrainAll() {
 }
 
 std::optional<Occurrence> TermOccurrenceStream::Peek() const {
-  if (list_ == nullptr || pos_ >= list_->postings.size()) return std::nullopt;
-  const index::Posting& posting = list_->postings[pos_];
+  if (list_ == nullptr || pos_ >= cursor_.size()) return std::nullopt;
+  const index::Posting& posting = cursor_.Get(pos_);
   if (posting.doc_id >= range_.end) return std::nullopt;
   return Occurrence{posting.doc_id, posting.node_id, posting.word_pos};
 }
 
 void TermOccurrenceStream::Advance() {
-  if (list_ != nullptr && pos_ < list_->postings.size()) ++pos_;
+  if (list_ != nullptr && pos_ < cursor_.size()) ++pos_;
 }
 
 uint64_t TermOccurrenceStream::SkipToDoc(storage::DocId doc) {
@@ -50,6 +50,10 @@ PhraseFinderStream::PhraseFinderStream(
       positions_(lists_.size(), 0),
       galloping_(galloping),
       range_(range) {
+  cursors_.reserve(lists_.size());
+  for (const index::PostingList* list : lists_) {
+    cursors_.emplace_back(list);
+  }
   for (const index::PostingList* list : lists_) {
     if (list == nullptr || list->empty()) {
       exhausted_ = true;
@@ -93,69 +97,72 @@ uint64_t PhraseFinderStream::SkipToDoc(storage::DocId doc) {
 
 bool PhraseFinderStream::AdvanceCursor(size_t i, storage::DocId doc,
                                        uint32_t target_pos) {
-  const std::vector<index::Posting>& postings = lists_[i]->postings;
+  index::BlockCursor& postings = cursors_[i];
+  const size_t n = postings.size();
   size_t& cursor = positions_[i];
   auto before_target = [&](const index::Posting& posting) {
     return posting.doc_id < doc ||
            (posting.doc_id == doc && posting.word_pos < target_pos);
   };
-  // Leap whole skip blocks first: O(log #blocks) to land within
-  // kSkipInterval postings of the target, regardless of the gap.
+  // Leap whole skip blocks first: O(log #blocks) on skip metadata alone
+  // — no block is decoded — to land within kSkipInterval postings of
+  // the target, regardless of the gap.
   cursor = lists_[i]->SkipForward(cursor, doc, target_pos);
   if (!galloping_) {
-    while (cursor < postings.size() && before_target(postings[cursor])) {
+    while (cursor < n && before_target(postings.Get(cursor))) {
       ++cursor;
       ++postings_scanned_;
     }
-    return cursor < postings.size();
+    return cursor < n;
   }
   // Galloping: double the step until we overshoot, then binary search in
   // the bracketed range. O(log gap) instead of O(gap).
-  if (cursor >= postings.size() || !before_target(postings[cursor])) {
-    return cursor < postings.size();
+  if (cursor >= n || !before_target(postings.Get(cursor))) {
+    return cursor < n;
   }
   size_t step = 1;
   size_t low = cursor;
   size_t high = cursor + step;
-  while (high < postings.size() && before_target(postings[high])) {
+  while (high < n && before_target(postings.Get(high))) {
     low = high;
     step *= 2;
     high = cursor + step;
     ++postings_scanned_;
   }
-  high = std::min(high, postings.size());
+  high = std::min(high, n);
   // Invariant: postings[low] is before target, postings[high] (if any)
   // is not. Binary search in (low, high].
   while (low + 1 < high) {
     const size_t mid = low + (high - low) / 2;
     ++postings_scanned_;
-    if (before_target(postings[mid])) {
+    if (before_target(postings.Get(mid))) {
       low = mid;
     } else {
       high = mid;
     }
   }
   cursor = high;
-  return cursor < postings.size();
+  return cursor < n;
 }
 
 void PhraseFinderStream::FindNextMatch() {
   current_.reset();
-  const std::vector<index::Posting>& first = lists_[0]->postings;
+  index::BlockCursor& first = cursors_[0];
   while (positions_[0] < first.size()) {
-    const index::Posting& anchor = first[positions_[0]];
+    // By value: each secondary term reads through its own cursor, but a
+    // copy keeps the anchor immune to any future sharing of cursors.
+    const index::Posting anchor = first.Get(positions_[0]);
     if (anchor.doc_id >= range_.end) break;
     ++postings_scanned_;
     bool match = true;
     for (size_t i = 1; i < lists_.size(); ++i) {
-      const std::vector<index::Posting>& postings = lists_[i]->postings;
       const uint32_t target_pos = anchor.word_pos + static_cast<uint32_t>(i);
       if (!AdvanceCursor(i, anchor.doc_id, target_pos)) {
         // This term can never match again: the whole stream is done.
         exhausted_ = true;
         return;
       }
-      const index::Posting& candidate = postings[positions_[i]];
+      const index::Posting& candidate = cursors_[i].Get(positions_[i]);
       if (candidate.doc_id != anchor.doc_id ||
           candidate.word_pos != target_pos ||
           candidate.node_id != anchor.node_id) {

@@ -7,6 +7,7 @@
 
 #include "algebra/scoring.h"
 #include "common/result.h"
+#include "index/block_cursor.h"
 #include "index/inverted_index.h"
 
 /// \file
@@ -20,6 +21,10 @@
 /// slicing primitive of doc-partitioned parallel TermJoin. Positioning
 /// uses the posting lists' per-document boundary offsets (O(log n))
 /// rather than a scan.
+///
+/// Streams read postings through index::BlockCursor, so block-compressed
+/// lists decode lazily: a seek (SkipToDoc, SkipForward) moves on skip
+/// metadata alone and only the landing block is ever decoded.
 
 namespace tix::exec {
 
@@ -71,7 +76,7 @@ class TermOccurrenceStream : public OccurrenceStream {
   /// table.
   explicit TermOccurrenceStream(const index::PostingList* list,
                                 DocRange range = {})
-      : list_(list), range_(range) {
+      : list_(list), cursor_(list), range_(range) {
     if (list_ != nullptr && range_.begin != 0) {
       pos_ = list_->LowerBoundDoc(range_.begin);
     }
@@ -83,6 +88,9 @@ class TermOccurrenceStream : public OccurrenceStream {
 
  private:
   const index::PostingList* list_;
+  /// Mutable: Peek is logically const but may decode the block under
+  /// the cursor position.
+  mutable index::BlockCursor cursor_;
   DocRange range_;
   size_t pos_ = 0;
 };
@@ -123,6 +131,9 @@ class PhraseFinderStream : public OccurrenceStream {
   bool AdvanceCursor(size_t i, storage::DocId doc, uint32_t target_pos);
 
   std::vector<const index::PostingList*> lists_;
+  /// One cursor per term. Distinct cursor objects even when two phrase
+  /// terms share a posting list, so each pins its own decoded block.
+  std::vector<index::BlockCursor> cursors_;
   std::vector<size_t> positions_;
   std::optional<Occurrence> current_;
   bool exhausted_ = false;

@@ -182,6 +182,8 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
     stats_.blocks_skipped += part.stats.blocks_skipped;
     stats_.postings_pruned += part.stats.postings_pruned;
     stats_.floor_updates += part.stats.floor_updates;
+    stats_.blocks_decoded += part.stats.blocks_decoded;
+    stats_.block_cache_hits += part.stats.block_cache_hits;
     partition_stats_.push_back(part.stats);
   }
   if (pushdown) {

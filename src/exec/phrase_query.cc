@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/obs.h"
 #include "exec/occurrence_stream.h"
+#include "index/block_cursor.h"
 #include "text/tokenizer.h"
 
 namespace tix::exec {
@@ -51,7 +52,9 @@ Result<std::vector<PhraseResult>> Comp3::Run() {
     const index::PostingList* list = index_->Lookup(terms_[i]);
     if (list == nullptr) return std::vector<PhraseResult>{};
     std::vector<storage::NodeId>& nodes = node_lists[i];
-    for (const index::Posting& posting : list->postings) {
+    index::BlockCursor cursor(list);
+    for (size_t j = 0; j < cursor.size(); ++j) {
+      const index::Posting& posting = cursor.Get(j);
       ++stats_.postings_scanned;
       if (nodes.empty() || nodes.back() != posting.node_id) {
         nodes.push_back(posting.node_id);

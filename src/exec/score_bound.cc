@@ -63,10 +63,9 @@ storage::DocId ScoreBoundOracle::NextCandidateDoc(storage::DocId from) const {
   for (const std::vector<const index::PostingList*>& lists : phrase_lists_) {
     for (const index::PostingList* list : lists) {
       if (list == nullptr || list->empty()) continue;
-      const size_t pos = list->LowerBoundDoc(from);
-      if (pos < list->postings.size()) {
-        best = std::min(best, list->postings[pos].doc_id);
-      }
+      // Doc-offset metadata only — no posting block is decoded.
+      const storage::DocId next = list->FirstDocAtOrAfter(from);
+      if (next != UINT32_MAX) best = std::min(best, next);
     }
   }
   return best;

@@ -280,6 +280,10 @@ Status TermJoin::Pump() {
       stats_.record_fetches =
           metrics_.value(obs::Counter::kRecordFetches);
       stats_.index_lookups = metrics_.value(obs::Counter::kIndexLookups);
+      stats_.blocks_decoded =
+          metrics_.value(obs::Counter::kIndexBlocksDecoded);
+      stats_.block_cache_hits =
+          metrics_.value(obs::Counter::kIndexBlockCacheHits);
       break;
     }
 

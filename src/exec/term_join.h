@@ -79,6 +79,11 @@ struct TermJoinStats {
   uint64_t postings_pruned = 0;
   /// Times the top-K score floor rose.
   uint64_t floor_updates = 0;
+  // Lazy-decode instrumentation (zero when every list is decoded).
+  /// Posting blocks varint-decoded on behalf of this run's streams.
+  uint64_t blocks_decoded = 0;
+  /// Decoded-block cache hits (block needed, decode avoided).
+  uint64_t block_cache_hits = 0;
 };
 
 class TermJoin {

@@ -2,26 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
+#include "common/block_codec.h"
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/varint.h"
+#include "index/block_cache.h"
 #include "storage/file_manager.h"
 
 namespace tix::index {
 
+// The block codec moves flat uint32 triples; Posting must be exactly
+// that so blocks decode straight into Posting storage.
+static_assert(sizeof(Posting) == 3 * sizeof(uint32_t));
+static_assert(std::is_standard_layout_v<Posting>);
+static_assert(offsetof(Posting, doc_id) == 0);
+static_assert(offsetof(Posting, node_id) == sizeof(uint32_t));
+static_assert(offsetof(Posting, word_pos) == 2 * sizeof(uint32_t));
+
 namespace {
 // Version 1: flat posting lists, no skip metadata in the header.
 constexpr uint64_t kIndexMagicV1 = 0x5449581049445801ULL;  // "TIX\x10IDX\x01"
-// Version 2: header carries the skip-block interval (see the format
-// comment in inverted_index.h); skip blocks themselves are rebuilt from
-// the postings at load time.
-constexpr uint64_t kIndexMagic = 0x5449581049445802ULL;  // "TIX\x10IDX\x02"
+// Version 2: header carries the skip-block interval; flat delta-coded
+// postings, skip blocks rebuilt at load.
+constexpr uint64_t kIndexMagicV2 = 0x5449581049445802ULL;  // "TIX\x10IDX\x02"
+// Version 3: block-compressed posting lists (see the format comment in
+// inverted_index.h). The skip interval in the header is now physical
+// block geometry, so it must match kSkipInterval.
+constexpr uint64_t kIndexMagic = 0x5449581049445803ULL;  // "TIX\x10IDX\x03"
+
+const uint32_t* AsTriples(const Posting* postings) {
+  return reinterpret_cast<const uint32_t*>(postings);
+}
+uint32_t* AsTriples(Posting* postings) {
+  return reinterpret_cast<uint32_t*>(postings);
+}
+
 }  // namespace
 
 void PostingList::BuildSkips() {
+  if (is_compressed()) {
+    // Compressed metadata is authoritative: it was derived (and
+    // validated) when the list was compressed or loaded, and cannot be
+    // rebuilt from the (empty) decoded vector.
+    return;
+  }
   skips.clear();
   doc_offsets.clear();
   max_doc_count = 0;
@@ -55,17 +84,162 @@ void PostingList::BuildSkips() {
   }
 }
 
+void PostingList::Compress() {
+  if (is_compressed()) return;
+  if (postings.empty()) {
+    num_encoded = 0;
+    blocks.clear();
+    return;  // an empty list has no representation to convert
+  }
+  BuildSkips();
+  blocks.clear();
+  for (size_t b = 0; b < skips.size(); ++b) {
+    const size_t begin = b * kSkipInterval;
+    const size_t count = std::min<size_t>(kSkipInterval,
+                                          postings.size() - begin);
+    skips[b].first_node = postings[begin].node_id;
+    skips[b].byte_offset = static_cast<uint32_t>(blocks.size());
+    codec::EncodeBlockTail(AsTriples(postings.data() + begin), count,
+                           &blocks);
+  }
+  blocks.shrink_to_fit();
+  num_encoded = static_cast<uint32_t>(postings.size());
+  cache_id = DecodedBlockCache::NextListId();
+  postings.clear();
+  postings.shrink_to_fit();
+}
+
+Status PostingList::DecodeBlock(uint32_t block, Posting* out) const {
+  if (block >= skips.size()) {
+    return Status::Corruption("posting block index out of range");
+  }
+  const SkipEntry& head = skips[block];
+  const size_t begin = head.byte_offset;
+  const size_t end =
+      block + 1 < skips.size() ? skips[block + 1].byte_offset : blocks.size();
+  if (begin > end || end > blocks.size()) {
+    return Status::Corruption("posting block: byte offsets out of order");
+  }
+  out[0] = Posting{head.doc_id, head.first_node, head.word_pos};
+  return codec::DecodeBlockTail(
+      std::string_view(blocks).substr(begin, end - begin),
+      BlockPostingCount(block), AsTriples(out));
+}
+
+Status PostingList::FinishCompressed() {
+  postings.clear();
+  doc_offsets.clear();
+  max_doc_count = 0;
+  if (num_encoded == 0) {
+    if (!skips.empty() || !blocks.empty()) {
+      return Status::Corruption(
+          "posting list: empty list with block payload");
+    }
+    return doc_frequency == 0 && node_frequency == 0
+               ? Status::OK()
+               : Status::Corruption(
+                     "posting list: empty list with nonzero frequencies");
+  }
+  if (skips.size() != num_blocks()) {
+    return Status::Corruption("posting list: block directory size mismatch");
+  }
+  if (doc_frequency > node_frequency || node_frequency > num_encoded) {
+    return Status::Corruption("posting list: implausible frequencies");
+  }
+  // One streaming pass: validates every block's framing and the global
+  // posting order, and collects the doc boundaries exactly as
+  // BuildSkips does on a decoded list.
+  doc_offsets.reserve(doc_frequency);
+  Posting buffer[kSkipInterval];
+  uint32_t docs_seen = 0;
+  uint32_t nodes_seen = 0;
+  Posting prev{};
+  bool has_prev = false;
+  for (uint32_t b = 0; b < skips.size(); ++b) {
+    if (skips[b].offset != b * kSkipInterval) {
+      return Status::Corruption("posting list: skip offsets not aligned");
+    }
+    skips[b].max_doc_count = 0;  // derived below, never trusted from disk
+    TIX_RETURN_IF_ERROR(DecodeBlock(b, buffer));
+    const uint32_t count = BlockPostingCount(b);
+    for (uint32_t i = 0; i < count; ++i) {
+      const Posting& posting = buffer[i];
+      const bool new_doc = !has_prev || posting.doc_id != prev.doc_id;
+      if (new_doc) {
+        ++docs_seen;
+        doc_offsets.emplace_back(posting.doc_id, b * kSkipInterval + i);
+      }
+      if (new_doc || posting.node_id != prev.node_id) ++nodes_seen;
+      if (has_prev) {
+        if (posting.doc_id < prev.doc_id) {
+          return Status::Corruption("posting list: doc ids out of order");
+        }
+        if (posting.doc_id == prev.doc_id) {
+          if (posting.word_pos <= prev.word_pos) {
+            return Status::Corruption(
+                "posting list: word positions not strictly ascending");
+          }
+          if (posting.node_id < prev.node_id) {
+            return Status::Corruption(
+                "posting list: node ids out of order within a document");
+          }
+        }
+      }
+      prev = posting;
+      has_prev = true;
+    }
+  }
+  if (docs_seen != doc_frequency) {
+    return Status::Corruption("posting list: doc_frequency mismatch");
+  }
+  if (nodes_seen != node_frequency) {
+    return Status::Corruption("posting list: node_frequency mismatch");
+  }
+  // Block-max metadata, straddle-safe (same rule as BuildSkips).
+  for (size_t d = 0; d < doc_offsets.size(); ++d) {
+    const uint32_t begin = doc_offsets[d].second;
+    const uint32_t end = d + 1 < doc_offsets.size()
+                             ? doc_offsets[d + 1].second
+                             : num_encoded;
+    const uint32_t count = end - begin;
+    max_doc_count = std::max(max_doc_count, count);
+    for (size_t b = begin / kSkipInterval; b <= (end - 1) / kSkipInterval;
+         ++b) {
+      skips[b].max_doc_count = std::max(skips[b].max_doc_count, count);
+    }
+  }
+  cache_id = DecodedBlockCache::NextListId();
+  return Status::OK();
+}
+
+std::vector<Posting> PostingList::DecodeAll() const {
+  if (!is_compressed()) return postings;
+  std::vector<Posting> out(num_encoded);
+  for (uint32_t b = 0; b < num_blocks(); ++b) {
+    const Status status =
+        DecodeBlock(b, out.data() + size_t{b} * kSkipInterval);
+    TIX_CHECK(status.ok()) << status.ToString();
+  }
+  return out;
+}
+
+size_t PostingList::PostingBytes() const {
+  return is_compressed() ? blocks.capacity()
+                         : postings.capacity() * sizeof(Posting);
+}
+
 size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
-  if (doc == 0 || postings.empty()) return 0;
+  if (doc == 0 || empty()) return 0;
   if (!doc_offsets.empty()) {
     const auto it = std::lower_bound(
         doc_offsets.begin(), doc_offsets.end(), doc,
         [](const std::pair<storage::DocId, uint32_t>& entry,
            storage::DocId target) { return entry.first < target; });
-    return it == doc_offsets.end() ? postings.size() : it->second;
+    return it == doc_offsets.end() ? size() : it->second;
   }
-  // Acceleration structures not built (hand-assembled list): binary
-  // search the postings directly.
+  // Acceleration structures not built (hand-assembled decoded list):
+  // binary search the postings directly. Compressed lists always carry
+  // doc_offsets, so this branch never decodes.
   const auto it = std::lower_bound(
       postings.begin(), postings.end(), doc,
       [](const Posting& posting, storage::DocId target) {
@@ -75,14 +249,38 @@ size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
 }
 
 uint32_t PostingList::DocPostingCount(storage::DocId doc) const {
-  if (postings.empty() || doc == UINT32_MAX) return 0;
+  if (empty() || doc == UINT32_MAX) return 0;
+  if (!doc_offsets.empty()) {
+    const auto it = std::lower_bound(
+        doc_offsets.begin(), doc_offsets.end(), doc,
+        [](const std::pair<storage::DocId, uint32_t>& entry,
+           storage::DocId target) { return entry.first < target; });
+    if (it == doc_offsets.end() || it->first != doc) return 0;
+    const uint32_t next = std::next(it) != doc_offsets.end()
+                              ? std::next(it)->second
+                              : static_cast<uint32_t>(size());
+    return next - it->second;
+  }
   const size_t lo = LowerBoundDoc(doc);
   if (lo >= postings.size() || postings[lo].doc_id != doc) return 0;
   return static_cast<uint32_t>(LowerBoundDoc(doc + 1) - lo);
 }
 
+storage::DocId PostingList::FirstDocAtOrAfter(storage::DocId doc) const {
+  if (empty()) return UINT32_MAX;
+  if (!doc_offsets.empty()) {
+    const auto it = std::lower_bound(
+        doc_offsets.begin(), doc_offsets.end(), doc,
+        [](const std::pair<storage::DocId, uint32_t>& entry,
+           storage::DocId target) { return entry.first < target; });
+    return it == doc_offsets.end() ? UINT32_MAX : it->first;
+  }
+  const size_t pos = LowerBoundDoc(doc);
+  return pos < postings.size() ? postings[pos].doc_id : UINT32_MAX;
+}
+
 PostingList::BlockBound PostingList::BlockBoundAt(storage::DocId from) const {
-  if (postings.empty()) return BlockBound{0, UINT32_MAX};
+  if (empty()) return BlockBound{0, UINT32_MAX};
   if (skips.empty()) {
     // No metadata: an unbounded estimate over a one-document window
     // keeps callers correct without pretending to know anything.
@@ -90,7 +288,7 @@ PostingList::BlockBound PostingList::BlockBoundAt(storage::DocId from) const {
                       from == UINT32_MAX ? UINT32_MAX : from + 1};
   }
   const size_t pos = LowerBoundDoc(from);
-  if (pos >= postings.size()) return BlockBound{0, UINT32_MAX};
+  if (pos >= size()) return BlockBound{0, UINT32_MAX};
   const size_t block = pos / kSkipInterval;
   BlockBound bound;
   bound.max_doc_count = skips[block].max_doc_count;
@@ -119,6 +317,49 @@ size_t PostingList::SkipForward(size_t from, storage::DocId doc,
 }
 
 Status PostingList::DebugCheckSorted() const {
+  if (is_compressed()) {
+    // FinishCompressed performs this exact validation while deriving the
+    // metadata; re-running it on demand re-decodes each block once.
+    Posting buffer[kSkipInterval];
+    uint32_t docs_seen = 0;
+    uint32_t nodes_seen = 0;
+    Posting prev{};
+    bool has_prev = false;
+    for (uint32_t b = 0; b < num_blocks(); ++b) {
+      TIX_RETURN_IF_ERROR(DecodeBlock(b, buffer));
+      const uint32_t count = BlockPostingCount(b);
+      for (uint32_t i = 0; i < count; ++i) {
+        const Posting& posting = buffer[i];
+        const bool new_doc = !has_prev || posting.doc_id != prev.doc_id;
+        if (new_doc) ++docs_seen;
+        if (new_doc || posting.node_id != prev.node_id) ++nodes_seen;
+        if (has_prev) {
+          if (posting.doc_id < prev.doc_id) {
+            return Status::Corruption("posting list: doc ids out of order");
+          }
+          if (posting.doc_id == prev.doc_id) {
+            if (posting.word_pos <= prev.word_pos) {
+              return Status::Corruption(
+                  "posting list: word positions not strictly ascending");
+            }
+            if (posting.node_id < prev.node_id) {
+              return Status::Corruption(
+                  "posting list: node ids out of order within a document");
+            }
+          }
+        }
+        prev = posting;
+        has_prev = true;
+      }
+    }
+    if (docs_seen != doc_frequency) {
+      return Status::Corruption("posting list: doc_frequency mismatch");
+    }
+    if (nodes_seen != node_frequency) {
+      return Status::Corruption("posting list: node_frequency mismatch");
+    }
+    return Status::OK();
+  }
   uint32_t docs_seen = 0;
   uint32_t nodes_seen = 0;
   for (size_t i = 0; i < postings.size(); ++i) {
@@ -151,7 +392,8 @@ Status PostingList::DebugCheckSorted() const {
   return Status::OK();
 }
 
-Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
+Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
+                                           bool compress) {
   InvertedIndex out;
   out.tokenizer_options_ = db->tokenizer().options();
   const text::Tokenizer& tokenizer = db->tokenizer();
@@ -193,7 +435,11 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db) {
   out.stats_.num_documents = db->documents().size();
   for (PostingList& list : out.lists_) {
     TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
-    list.BuildSkips();
+    if (compress) {
+      list.Compress();
+    } else {
+      list.BuildSkips();
+    }
   }
   db->node_store().ResetCounters();
   return out;
@@ -245,6 +491,23 @@ std::vector<std::string> InvertedIndex::TermsWithFrequencyBetween(
   return terms;
 }
 
+IndexResidency InvertedIndex::MemoryUsage() const {
+  IndexResidency out;
+  for (const PostingList& list : lists_) {
+    out.postings_bytes += list.PostingBytes();
+    out.skip_bytes += list.skips.capacity() * sizeof(SkipEntry);
+    out.doc_offset_bytes += list.doc_offsets.capacity() *
+                            sizeof(std::pair<storage::DocId, uint32_t>);
+    out.num_postings += list.size();
+    if (list.is_compressed()) {
+      ++out.compressed_lists;
+    } else if (!list.postings.empty()) {
+      ++out.decoded_lists;
+    }
+  }
+  return out;
+}
+
 Status InvertedIndex::SaveToFile(const std::string& path) const {
   std::string blob;
   PutVarint64(&blob, kIndexMagic);
@@ -260,27 +523,41 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
   blob += dict;
 
   PutVarint64(&blob, lists_.size());
+  std::string tail;  // scratch for encoding decoded lists
   for (const PostingList& list : lists_) {
-    PutVarint64(&blob, list.postings.size());
+    PutVarint64(&blob, list.size());
     PutVarint64(&blob, list.doc_frequency);
     PutVarint64(&blob, list.node_frequency);
-    // Delta coding: docs ascend; within a doc node ids and positions
-    // ascend.
-    uint32_t prev_doc = 0;
-    uint32_t prev_node = 0;
-    uint32_t prev_pos = 0;
-    for (const Posting& posting : list.postings) {
-      const uint32_t doc_delta = posting.doc_id - prev_doc;
-      PutVarint32(&blob, doc_delta);
-      if (doc_delta != 0) {
-        prev_node = 0;
-        prev_pos = 0;
+    if (list.is_compressed()) {
+      // The in-memory block encoding *is* the wire encoding: copy the
+      // tails verbatim.
+      for (size_t b = 0; b < list.skips.size(); ++b) {
+        const SkipEntry& head = list.skips[b];
+        const size_t begin = head.byte_offset;
+        const size_t end = b + 1 < list.skips.size()
+                               ? list.skips[b + 1].byte_offset
+                               : list.blocks.size();
+        PutVarint32(&blob, head.doc_id);
+        PutVarint32(&blob, head.first_node);
+        PutVarint32(&blob, head.word_pos);
+        PutVarint64(&blob, end - begin);
+        blob.append(list.blocks, begin, end - begin);
       }
-      PutVarint32(&blob, posting.node_id - prev_node);
-      PutVarint32(&blob, posting.word_pos - prev_pos);
-      prev_doc = posting.doc_id;
-      prev_node = posting.node_id;
-      prev_pos = posting.word_pos;
+    } else {
+      for (size_t begin = 0; begin < list.postings.size();
+           begin += kSkipInterval) {
+        const size_t count =
+            std::min<size_t>(kSkipInterval, list.postings.size() - begin);
+        const Posting& head = list.postings[begin];
+        PutVarint32(&blob, head.doc_id);
+        PutVarint32(&blob, head.node_id);
+        PutVarint32(&blob, head.word_pos);
+        tail.clear();
+        codec::EncodeBlockTail(AsTriples(list.postings.data() + begin),
+                               count, &tail);
+        PutVarint64(&blob, tail.size());
+        blob += tail;
+      }
     }
   }
   PutVarint64(&blob, stats_.num_documents);
@@ -291,7 +568,8 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
   return storage::AtomicWriteFile(path, blob);
 }
 
-Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
+Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
+                                                  IndexLoadOptions options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open index file: " + path);
   std::ostringstream buffer;
@@ -301,15 +579,23 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
 
   InvertedIndex out;
   TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
-  if (magic != kIndexMagic && magic != kIndexMagicV1) {
+  if (magic != kIndexMagic && magic != kIndexMagicV2 &&
+      magic != kIndexMagicV1) {
     return Status::Corruption("bad index magic");
   }
-  if (magic == kIndexMagic) {
-    // Skip-block geometry the index was built with. Blocks are derived
-    // data (rebuilt below), so any positive interval is acceptable.
+  out.format_version_ = magic == kIndexMagic ? 3
+                        : magic == kIndexMagicV2 ? 2
+                                                 : 1;
+  if (magic != kIndexMagicV1) {
     TIX_ASSIGN_OR_RETURN(const uint64_t skip_interval, GetVarint64(&blob));
     if (skip_interval == 0) {
       return Status::Corruption("index header: zero skip interval");
+    }
+    if (magic == kIndexMagic && skip_interval != kSkipInterval) {
+      // In version 3 the interval is the physical block geometry, not a
+      // derived-data hint; SaveToFile only ever writes kSkipInterval.
+      return Status::Corruption("index header: unsupported skip interval " +
+                                std::to_string(skip_interval));
     }
   }
   if (blob.size() < 3) return Status::Corruption("index truncated");
@@ -329,8 +615,8 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
 
   TIX_ASSIGN_OR_RETURN(const uint64_t num_lists, GetVarint64(&blob));
   // Sanity bounds before any allocation: each list costs at least one
-  // byte (its count varint), and each posting at least three bytes (one
-  // varint per field). A corrupt count would otherwise turn resize() /
+  // byte (its count varint), and each posting at least one byte (block
+  // heads cost more). A corrupt count would otherwise turn resize() /
   // reserve() into a multi-gigabyte bad_alloc.
   if (num_lists > blob.size()) {
     return Status::Corruption("index header: list count " +
@@ -349,33 +635,102 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
     TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
     TIX_ASSIGN_OR_RETURN(const uint64_t df, GetVarint64(&blob));
     TIX_ASSIGN_OR_RETURN(const uint64_t nf, GetVarint64(&blob));
-    if (count > blob.size() / 3) {
+    if (count > blob.size() || count > UINT32_MAX) {
       return Status::Corruption("index list " + std::to_string(i) +
                                 ": posting count " + std::to_string(count) +
                                 " exceeds remaining blob size");
     }
+    if (df > count || nf > count || df > nf) {
+      return Status::Corruption("index list " + std::to_string(i) +
+                                ": implausible frequencies");
+    }
     list.doc_frequency = static_cast<uint32_t>(df);
     list.node_frequency = static_cast<uint32_t>(nf);
-    list.postings.reserve(count);
-    uint32_t prev_doc = 0;
-    uint32_t prev_node = 0;
-    uint32_t prev_pos = 0;
-    for (uint64_t j = 0; j < count; ++j) {
-      TIX_ASSIGN_OR_RETURN(const uint32_t doc_delta, GetVarint32(&blob));
-      if (doc_delta != 0) {
-        prev_node = 0;
-        prev_pos = 0;
+    if (magic == kIndexMagic) {
+      // Version 3: copy the block directory and tails verbatim — no
+      // posting materialization.
+      const uint32_t nblocks =
+          count == 0
+              ? 0
+              : static_cast<uint32_t>((count + kSkipInterval - 1) /
+                                      kSkipInterval);
+      list.skips.reserve(nblocks);
+      for (uint32_t b = 0; b < nblocks; ++b) {
+        TIX_ASSIGN_OR_RETURN(const uint32_t first_doc, GetVarint32(&blob));
+        TIX_ASSIGN_OR_RETURN(const uint32_t first_node, GetVarint32(&blob));
+        TIX_ASSIGN_OR_RETURN(const uint32_t first_pos, GetVarint32(&blob));
+        TIX_ASSIGN_OR_RETURN(const uint64_t tail_bytes, GetVarint64(&blob));
+        if (tail_bytes > blob.size()) {
+          return Status::Corruption("index list " + std::to_string(i) +
+                                    ": block tail exceeds blob size");
+        }
+        list.skips.push_back(SkipEntry{first_doc, first_pos,
+                                       b * kSkipInterval, 0, first_node,
+                                       static_cast<uint32_t>(
+                                           list.blocks.size())});
+        list.blocks.append(blob.data(), tail_bytes);
+        blob.remove_prefix(tail_bytes);
       }
-      TIX_ASSIGN_OR_RETURN(const uint32_t node_delta, GetVarint32(&blob));
-      TIX_ASSIGN_OR_RETURN(const uint32_t pos_delta, GetVarint32(&blob));
-      Posting posting;
-      posting.doc_id = prev_doc + doc_delta;
-      posting.node_id = prev_node + node_delta;
-      posting.word_pos = prev_pos + pos_delta;
-      list.postings.push_back(posting);
-      prev_doc = posting.doc_id;
-      prev_node = posting.node_id;
-      prev_pos = posting.word_pos;
+      // Incremental append grows capacity geometrically (up to ~2x the
+      // final size); drop the slack — these bytes stay resident for the
+      // index's whole lifetime and are what MemoryUsage() reports.
+      list.blocks.shrink_to_fit();
+      list.num_encoded = static_cast<uint32_t>(count);
+    } else if (!options.decode_postings) {
+      // Versions 1/2 store flat delta-coded postings; transcode through
+      // a one-block window so even legacy loads never materialize the
+      // whole vector.
+      Posting window[kSkipInterval];
+      size_t fill = 0;
+      uint32_t block_base = 0;
+      uint32_t prev_doc = 0;
+      uint32_t prev_node = 0;
+      uint32_t prev_pos = 0;
+      for (uint64_t j = 0; j < count; ++j) {
+        TIX_ASSIGN_OR_RETURN(const uint32_t doc_delta, GetVarint32(&blob));
+        if (doc_delta != 0) {
+          prev_node = 0;
+          prev_pos = 0;
+        }
+        TIX_ASSIGN_OR_RETURN(const uint32_t node_delta, GetVarint32(&blob));
+        TIX_ASSIGN_OR_RETURN(const uint32_t pos_delta, GetVarint32(&blob));
+        prev_doc += doc_delta;
+        prev_node += node_delta;
+        prev_pos += pos_delta;
+        window[fill++] = Posting{prev_doc, prev_node, prev_pos};
+        if (fill == kSkipInterval || j + 1 == count) {
+          list.skips.push_back(SkipEntry{
+              window[0].doc_id, window[0].word_pos, block_base, 0,
+              window[0].node_id, static_cast<uint32_t>(list.blocks.size())});
+          codec::EncodeBlockTail(AsTriples(window), fill, &list.blocks);
+          block_base += static_cast<uint32_t>(fill);
+          fill = 0;
+        }
+      }
+      list.blocks.shrink_to_fit();  // same slack-drop as the v3 path
+      list.num_encoded = static_cast<uint32_t>(count);
+    } else {
+      list.postings.reserve(count);
+      uint32_t prev_doc = 0;
+      uint32_t prev_node = 0;
+      uint32_t prev_pos = 0;
+      for (uint64_t j = 0; j < count; ++j) {
+        TIX_ASSIGN_OR_RETURN(const uint32_t doc_delta, GetVarint32(&blob));
+        if (doc_delta != 0) {
+          prev_node = 0;
+          prev_pos = 0;
+        }
+        TIX_ASSIGN_OR_RETURN(const uint32_t node_delta, GetVarint32(&blob));
+        TIX_ASSIGN_OR_RETURN(const uint32_t pos_delta, GetVarint32(&blob));
+        Posting posting;
+        posting.doc_id = prev_doc + doc_delta;
+        posting.node_id = prev_node + node_delta;
+        posting.word_pos = prev_pos + pos_delta;
+        list.postings.push_back(posting);
+        prev_doc = posting.doc_id;
+        prev_node = posting.node_id;
+        prev_pos = posting.word_pos;
+      }
     }
     out.stats_.num_postings += count;
   }
@@ -388,8 +743,29 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path) {
                               " trailing bytes");
   }
   for (PostingList& list : out.lists_) {
-    TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
-    list.BuildSkips();
+    if (list.is_compressed() || (list.postings.empty() &&
+                                 list.num_encoded == 0 &&
+                                 !options.decode_postings)) {
+      TIX_RETURN_IF_ERROR(list.FinishCompressed());
+      if (options.decode_postings) {
+        // Validated above; now expand to the legacy representation and
+        // drop the compressed one.
+        std::vector<Posting> decoded = list.DecodeAll();
+        list.postings = std::move(decoded);
+        list.blocks.clear();
+        list.blocks.shrink_to_fit();
+        list.num_encoded = 0;
+        list.cache_id = 0;
+        list.skips.clear();
+        list.doc_offsets.clear();
+        list.max_doc_count = 0;
+        TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
+        list.BuildSkips();
+      }
+    } else {
+      TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
+      list.BuildSkips();
+    }
   }
   return out;
 }

@@ -20,20 +20,28 @@
 /// lets TermJoin merge postings against the structure and lets
 /// PhraseFinder verify adjacency without touching the stored text.
 ///
-/// On-disk format (version 2, see kIndexMagic):
+/// On-disk format (version 3, see kIndexMagic):
 ///   varint magic
-///   varint skip_interval          -- skip-block geometry used at build
+///   varint skip_interval          -- physical block geometry (must equal
+///                                    kSkipInterval for version 3)
 ///   byte lowercase, byte remove_stopwords, byte stem
 ///   varint min_token_length
 ///   varint dict_size, dict bytes
 ///   varint num_lists, then per list:
 ///     varint num_postings, varint doc_frequency, varint node_frequency
-///     postings delta+varint coded as (doc_delta, node_delta, pos_delta)
+///     per 128-posting block:
+///       varint first_doc, varint first_node, varint first_pos
+///       varint tail_bytes, then the block tail: successors delta+varint
+///       coded as (doc_delta, node_delta, pos_delta) — see
+///       common/block_codec.h
 ///   varint num_documents, varint num_text_nodes
-/// Skip blocks and per-document boundary offsets are *derived* data:
-/// they are rebuilt from the decoded postings at load time using the
-/// skip_interval recorded in the header, so the posting encoding stays
-/// exactly as compact as version 1 (whose magic is still accepted).
+/// Version 3 lists stay block-compressed in memory: LoadFromFile copies
+/// the block bytes verbatim (no posting materialization) and derives
+/// `doc_offsets` / block-max metadata with one streaming validation
+/// pass. Versions 1 and 2 (flat delta-coded postings, derived skips) are
+/// still read: their postings are transcoded into blocks through a
+/// 128-posting window, so even legacy loads never hold a full decoded
+/// vector.
 
 namespace tix::index {
 
@@ -71,23 +79,53 @@ struct SkipEntry {
   /// exactly what a top-K merge needs to discard the block against a
   /// score floor without decoding it.
   uint32_t max_doc_count = 0;
+  /// Block-compressed lists only: node id of the block's first posting.
+  /// The head triple (doc_id, first_node, word_pos) lives here — not in
+  /// the byte stream — so seeks read it without any decode. Zero on
+  /// decoded lists.
+  storage::NodeId first_node = 0;
+  /// Block-compressed lists only: byte offset of the block's tail in
+  /// PostingList::blocks (the tail length is the next block's offset, or
+  /// the end of `blocks` for the last one).
+  uint32_t byte_offset = 0;
 };
 
 /// All occurrences of one term plus its collection statistics.
 ///
-/// `size()` / `empty()` intentionally report the raw posting vector; the
-/// skip blocks and doc offsets below are acceleration structures derived
-/// from it by BuildSkips() and carry no information of their own. Every
-/// accessor degrades to a plain binary/linear search when they are
-/// absent, so hand-built lists (tests, benches) need no extra setup.
+/// A list lives in one of two representations:
+///  - *decoded*: `postings` holds every occurrence (hand-built lists in
+///    tests/benches, and the legacy load mode). `skips`/`doc_offsets`
+///    are optional acceleration structures derived by BuildSkips();
+///    every accessor degrades to a plain binary/linear search when they
+///    are absent, so hand-built lists need no extra setup.
+///  - *block-compressed* (Compress(), or any LoadFromFile): `postings`
+///    is empty and the occurrences live delta+varint coded in `blocks`,
+///    one tail per kSkipInterval-aligned block, with each block's first
+///    posting and byte offset in its SkipEntry. Readers touch postings
+///    only through BlockCursor (or DecodeAll), which decodes one block
+///    at a time; the seek paths (LowerBoundDoc / SkipForward /
+///    BlockBoundAt / DocPostingCount / FirstDocAtOrAfter) run entirely
+///    on skip metadata and never decode.
 struct PostingList {
+  /// Decoded representation; empty once compressed.
   std::vector<Posting> postings;
   /// Number of distinct documents containing the term.
   uint32_t doc_frequency = 0;
   /// Number of distinct text nodes containing the term.
   uint32_t node_frequency = 0;
 
-  /// Block-level skip entries: one per kSkipInterval postings.
+  /// Block-compressed representation: concatenated block tails (see
+  /// common/block_codec.h). Meaningful only when `is_compressed()`.
+  std::string blocks;
+  /// Posting count of the compressed representation.
+  uint32_t num_encoded = 0;
+  /// Process-unique identity in the DecodedBlockCache (0 = never
+  /// cached). Minted by Compress()/FinishCompressed(), never reused.
+  uint64_t cache_id = 0;
+
+  /// Block-level skip entries: one per kSkipInterval postings. Required
+  /// (and always present) on compressed lists, where they double as the
+  /// block directory.
   std::vector<SkipEntry> skips;
   /// (doc_id, offset of the doc's first posting), one entry per distinct
   /// document — makes doc-range partitioning an O(log n) slice.
@@ -96,11 +134,53 @@ struct PostingList {
   /// in the list (0 when empty or when BuildSkips has not run).
   uint32_t max_doc_count = 0;
 
-  size_t size() const { return postings.size(); }
-  bool empty() const { return postings.empty(); }
+  bool is_compressed() const { return postings.empty() && num_encoded > 0; }
+  size_t size() const {
+    return postings.empty() ? num_encoded : postings.size();
+  }
+  bool empty() const { return size() == 0; }
 
-  /// (Re)derives `skips` and `doc_offsets` from `postings`.
+  /// Number of skip blocks in the compressed representation.
+  uint32_t num_blocks() const {
+    return (num_encoded + kSkipInterval - 1) / kSkipInterval;
+  }
+  /// Postings in block `block` (the last block may be short).
+  uint32_t BlockPostingCount(uint32_t block) const {
+    const uint32_t begin = block * kSkipInterval;
+    return num_encoded - begin < kSkipInterval ? num_encoded - begin
+                                               : kSkipInterval;
+  }
+
+  /// (Re)derives `skips` and `doc_offsets` from `postings`. No-op on a
+  /// compressed list (its metadata was derived when it was compressed
+  /// and must not be rebuilt from the empty vector).
   void BuildSkips();
+
+  /// Converts a decoded list to the block-compressed representation:
+  /// derives skip metadata, encodes the blocks, then frees `postings`.
+  /// The list must satisfy DebugCheckSorted().
+  void Compress();
+
+  /// Finishes a list whose compressed fields (`blocks`, `num_encoded`,
+  /// per-block SkipEntry head/byte_offset, frequencies) were populated
+  /// externally (the loader): one streaming decode pass validates block
+  /// framing and posting order, and derives `doc_offsets` plus block-max
+  /// metadata. Returns Corruption on any violation.
+  Status FinishCompressed();
+
+  /// Decodes block `block` into `out` (capacity >= BlockPostingCount).
+  /// Cannot fail on a list validated by FinishCompressed()/Compress();
+  /// returns Corruption on inconsistent framing otherwise.
+  Status DecodeBlock(uint32_t block, Posting* out) const;
+
+  /// Materializes every posting (tests, legacy load mode). Identity on
+  /// a decoded list. Aborts on an unvalidated corrupt list.
+  std::vector<Posting> DecodeAll() const;
+
+  /// Bytes resident for this list's postings: the decoded vector, or
+  /// the compressed block bytes. Skip/doc-offset metadata is reported
+  /// separately by InvertedIndex::MemoryUsage().
+  size_t PostingBytes() const;
 
   /// Index of the first posting with doc_id >= doc. Uses `doc_offsets`
   /// when built, else binary-searches the postings directly.
@@ -117,6 +197,11 @@ struct PostingList {
   /// Exact number of postings for `doc`. O(log n) via doc_offsets (or a
   /// direct binary search when they are absent).
   uint32_t DocPostingCount(storage::DocId doc) const;
+
+  /// Smallest doc id >= `doc` with at least one posting, or UINT32_MAX
+  /// when none. Pure metadata on lists with doc_offsets — never decodes
+  /// a block (the top-K oracle's candidate hop).
+  storage::DocId FirstDocAtOrAfter(storage::DocId doc) const;
 
   /// Upper bound on the per-document posting count for every document in
   /// [`from`, returned `window_end`), derived from the skip block that
@@ -137,8 +222,9 @@ struct PostingList {
   /// Validates the invariants every merge relies on: postings strictly
   /// ascending by (doc_id, word_pos), node ids non-decreasing within a
   /// document, and doc/node frequencies consistent with the postings.
-  /// Returns Corruption on violation so a bad on-disk index fails loudly
-  /// instead of silently mis-merging.
+  /// Works on either representation (a compressed list is stream-decoded
+  /// block by block). Returns Corruption on violation so a bad on-disk
+  /// index fails loudly instead of silently mis-merging.
   Status DebugCheckSorted() const;
 };
 
@@ -147,6 +233,38 @@ struct IndexStats {
   uint64_t num_postings = 0;
   uint64_t num_documents = 0;
   uint64_t num_text_nodes = 0;
+};
+
+/// Resident-memory breakdown of an index (tix_cli stats, bench_index).
+struct IndexResidency {
+  /// Posting storage: decoded vectors plus compressed block bytes.
+  uint64_t postings_bytes = 0;
+  /// Skip entries (block directory + block-max metadata).
+  uint64_t skip_bytes = 0;
+  /// Per-document boundary offsets.
+  uint64_t doc_offset_bytes = 0;
+  uint64_t num_postings = 0;
+  uint64_t compressed_lists = 0;
+  uint64_t decoded_lists = 0;  ///< Non-empty lists in decoded form.
+
+  uint64_t total_bytes() const {
+    return postings_bytes + skip_bytes + doc_offset_bytes;
+  }
+  /// The headline compression figure: posting-storage bytes per posting
+  /// (metadata excluded — it is identical in both representations).
+  double posting_bytes_per_posting() const {
+    return num_postings == 0
+               ? 0.0
+               : static_cast<double>(postings_bytes) /
+                     static_cast<double>(num_postings);
+  }
+};
+
+struct IndexLoadOptions {
+  /// Decode every list into the legacy std::vector<Posting>
+  /// representation instead of keeping blocks compressed. The
+  /// equivalence baseline in tests; production loads leave this off.
+  bool decode_postings = false;
 };
 
 /// Memory-resident inverted index with on-disk persistence (delta +
@@ -159,21 +277,41 @@ class InvertedIndex {
   InvertedIndex() = default;
   TIX_DISALLOW_COPY_AND_ASSIGN(InvertedIndex);
   InvertedIndex(InvertedIndex&& other) noexcept { *this = std::move(other); }
+  /// Move leaves `other` in the documented valid-empty state: no terms,
+  /// zeroed statistics and counters, default tokenizer options — i.e.
+  /// indistinguishable from a freshly constructed index, so reusing a
+  /// moved-from instance (Lookup misses, stats all zero, re-Build) is
+  /// well defined.
   InvertedIndex& operator=(InvertedIndex&& other) noexcept {
     if (this != &other) {
       dictionary_ = std::move(other.dictionary_);
       lists_ = std::move(other.lists_);
       stats_ = other.stats_;
       tokenizer_options_ = other.tokenizer_options_;
+      format_version_ = other.format_version_;
       lookups_.store(other.lookups_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+      // Moved-from containers are only "valid but unspecified"; reset
+      // everything explicitly so the source is truly empty.
+      other.dictionary_ = text::TermDictionary();
+      other.lists_.clear();
+      other.stats_ = IndexStats();
+      other.tokenizer_options_ = text::TokenizerOptions();
+      other.format_version_ = kCurrentFormatVersion;
+      other.lookups_.store(0, std::memory_order_relaxed);
     }
     return *this;
   }
 
+  /// Newest on-disk format version written by SaveToFile.
+  static constexpr int kCurrentFormatVersion = 3;
+
   /// Builds the index with one scan of the database's text nodes, using
   /// the database's tokenizer so index terms match load-time numbering.
-  static Result<InvertedIndex> Build(storage::Database* db);
+  /// Lists are block-compressed by default; `compress = false` keeps the
+  /// decoded vectors (the equivalence baseline in tests).
+  static Result<InvertedIndex> Build(storage::Database* db,
+                                     bool compress = true);
 
   /// Postings for a term (already normalized by the caller or not — the
   /// lookup normalizes with the same tokenizer options used at build).
@@ -201,14 +339,24 @@ class InvertedIndex {
   uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
   void ResetCounters() { lookups_.store(0, std::memory_order_relaxed); }
 
+  /// Resident bytes, posting counts and representation mix, summed over
+  /// every list (capacity-based for vectors).
+  IndexResidency MemoryUsage() const;
+
+  /// On-disk format version this index was loaded from (or
+  /// kCurrentFormatVersion for a freshly built one).
+  int format_version() const { return format_version_; }
+
   Status SaveToFile(const std::string& path) const;
-  static Result<InvertedIndex> LoadFromFile(const std::string& path);
+  static Result<InvertedIndex> LoadFromFile(const std::string& path,
+                                            IndexLoadOptions options = {});
 
  private:
   text::TermDictionary dictionary_;
   std::vector<PostingList> lists_;  // indexed by TermId
   IndexStats stats_;
   text::TokenizerOptions tokenizer_options_;
+  int format_version_ = kCurrentFormatVersion;
   /// Atomic: concurrent TermJoin partitions look terms up through const
   /// methods; a plain mutable counter would race.
   mutable std::atomic<uint64_t> lookups_{0};

@@ -140,6 +140,14 @@ void AttachTermJoinStats(obs::OperatorSpan* span,
       child.SetCounter(obs::CounterName(obs::Counter::kTopkPostingsPruned),
                        partition_stats[i].postings_pruned);
     }
+    if (partition_stats[i].blocks_decoded > 0) {
+      child.SetCounter(obs::CounterName(obs::Counter::kIndexBlocksDecoded),
+                       partition_stats[i].blocks_decoded);
+    }
+    if (partition_stats[i].block_cache_hits > 0) {
+      child.SetCounter(obs::CounterName(obs::Counter::kIndexBlockCacheHits),
+                       partition_stats[i].block_cache_hits);
+    }
     node->AddChild(std::move(child));
   }
 }

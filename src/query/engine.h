@@ -9,6 +9,7 @@
 #include "algebra/scoring.h"
 #include "common/obs.h"
 #include "common/result.h"
+#include "index/block_cache.h"
 #include "index/inverted_index.h"
 #include "query/ast.h"
 #include "storage/database.h"
@@ -78,13 +79,21 @@ struct EngineOptions {
   /// way; only work saved differs. Disable to force the post-pass (the
   /// CLI's --no-pushdown, equivalence tests, benches).
   bool threshold_pushdown = true;
+  /// Capacity of the process-wide decoded-posting-block cache (the CLI's
+  /// --block-cache-mb). 0 disables caching: every block access on a
+  /// compressed list decodes. Applied at engine construction; the cache
+  /// is shared by every engine in the process, so the last-constructed
+  /// engine's setting wins.
+  size_t block_cache_bytes = index::kDefaultBlockCacheBytes;
 };
 
 class QueryEngine {
  public:
   QueryEngine(storage::Database* db, const index::InvertedIndex* index,
               EngineOptions options = {})
-      : db_(db), index_(index), options_(options) {}
+      : db_(db), index_(index), options_(options) {
+    index::DecodedBlockCache::Instance().Configure(options_.block_cache_bytes);
+  }
 
   /// Parses and executes.
   Result<QueryOutput> ExecuteText(std::string_view text);

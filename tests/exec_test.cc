@@ -300,7 +300,7 @@ TEST_F(PaperExampleExec, PhraseFinderQuerySingleTerm) {
   ASSERT_NE(list, nullptr);
   uint64_t total = 0;
   for (const PhraseResult& result : out) total += result.count;
-  EXPECT_EQ(total, list->postings.size());
+  EXPECT_EQ(total, list->size());
   for (size_t i = 1; i < out.size(); ++i) {
     EXPECT_LT(out[i - 1].text_node, out[i].text_node);
   }

@@ -43,10 +43,12 @@ TEST_F(IndexTest, TermFrequencies) {
 TEST_F(IndexTest, PostingsAreSortedAndPointAtTextNodes) {
   const PostingList* list = index_->Lookup("search");
   ASSERT_NE(list, nullptr);
-  for (size_t i = 0; i < list->postings.size(); ++i) {
-    const Posting& posting = list->postings[i];
+  const std::vector<Posting> postings = list->DecodeAll();
+  ASSERT_EQ(postings.size(), list->size());
+  for (size_t i = 0; i < postings.size(); ++i) {
+    const Posting& posting = postings[i];
     if (i > 0) {
-      EXPECT_TRUE(PostingLess(list->postings[i - 1], posting));
+      EXPECT_TRUE(PostingLess(postings[i - 1], posting));
     }
     const storage::NodeRecord record = Unwrap(db_->GetNode(posting.node_id));
     EXPECT_TRUE(record.is_text());
@@ -61,7 +63,7 @@ TEST_F(IndexTest, WordPositionsMatchTokenOffsets) {
   const PostingList* list = index_->Lookup("newsinessence");
   ASSERT_NE(list, nullptr);
   ASSERT_EQ(list->size(), 1u);
-  const Posting& posting = list->postings[0];
+  const Posting posting = list->DecodeAll()[0];
   const storage::NodeRecord record = Unwrap(db_->GetNode(posting.node_id));
   const std::string data = Unwrap(db_->TextOf(record));
   const auto tokens = db_->tokenizer().Tokenize(data);
@@ -105,7 +107,7 @@ TEST_F(IndexTest, SaveLoadRoundTrip) {
   const PostingList* original = index_->Lookup("search");
   const PostingList* restored = loaded.Lookup("search");
   ASSERT_NE(restored, nullptr);
-  EXPECT_EQ(restored->postings, original->postings);
+  EXPECT_EQ(restored->DecodeAll(), original->DecodeAll());
   EXPECT_EQ(restored->doc_frequency, original->doc_frequency);
 }
 
@@ -154,7 +156,7 @@ TEST(IndexCorpusTest, GenerationIsDeterministic) {
     Unwrap(workload::GenerateCorpus(db.get(), options));
     InvertedIndex index = Unwrap(InvertedIndex::Build(db.get()));
     const PostingList* list = index.Lookup("xseed");
-    return list->postings;
+    return list->DecodeAll();
   };
   TempDir dir1, dir2;
   EXPECT_EQ(build(dir1.path()), build(dir2.path()));

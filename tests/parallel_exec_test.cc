@@ -403,7 +403,7 @@ TEST(DebugCheckSortedTest, LoadRebuildsSkipStructures) {
   const index::PostingList* list = loaded.Lookup("xq1");
   ASSERT_NE(list, nullptr);
   EXPECT_FALSE(list->doc_offsets.empty());
-  EXPECT_EQ(list->skips.empty(), list->postings.size() == 0);
+  EXPECT_EQ(list->skips.empty(), list->size() == 0);
   EXPECT_EQ(list->skips.front().offset, 0u);
 }
 

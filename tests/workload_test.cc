@@ -79,23 +79,22 @@ TEST(CorpusTest, PhraseCoOccurrencesAreExactlyPlanted) {
                              {"xcc", "xdd", 40, 40, 40}};
   Unwrap(GenerateCorpus(db.get(), options));
   index::InvertedIndex index = Unwrap(index::InvertedIndex::Build(db.get()));
-  // Count adjacencies directly from postings.
+  // Count adjacencies directly from (decoded) postings.
   auto count_pairs = [&](const char* t1, const char* t2) {
-    const auto* list1 = index.Lookup(t1);
-    const auto* list2 = index.Lookup(t2);
+    const std::vector<index::Posting> p1 = index.Lookup(t1)->DecodeAll();
+    const std::vector<index::Posting> p2 = index.Lookup(t2)->DecodeAll();
     uint64_t pairs = 0;
     size_t j = 0;
-    for (const auto& posting : list1->postings) {
-      while (j < list2->postings.size() &&
-             (list2->postings[j].doc_id < posting.doc_id ||
-              (list2->postings[j].doc_id == posting.doc_id &&
-               list2->postings[j].word_pos < posting.word_pos + 1))) {
+    for (const auto& posting : p1) {
+      while (j < p2.size() &&
+             (p2[j].doc_id < posting.doc_id ||
+              (p2[j].doc_id == posting.doc_id &&
+               p2[j].word_pos < posting.word_pos + 1))) {
         ++j;
       }
-      if (j < list2->postings.size() &&
-          list2->postings[j].doc_id == posting.doc_id &&
-          list2->postings[j].word_pos == posting.word_pos + 1 &&
-          list2->postings[j].node_id == posting.node_id) {
+      if (j < p2.size() && p2[j].doc_id == posting.doc_id &&
+          p2[j].word_pos == posting.word_pos + 1 &&
+          p2[j].node_id == posting.node_id) {
         ++pairs;
       }
     }

@@ -5,7 +5,7 @@
 //   tix_cli stats --db=DIR                           database/index stats
 //   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
 //   tix_cli query --db=DIR [--threads=N] [--no-pushdown]
-//                 [--explain | --stats-json]
+//                 [--block-cache-mb=N] [--explain | --stats-json]
 //                 "FOR $a IN ... RETURN $a"          run a query
 //   tix_cli path  --db=DIR "article//sec/p"          holistic path join
 //   tix_cli verify --db=DIR                          check every page + index
@@ -20,6 +20,10 @@
 // early-terminating TermJoin; see docs/ALGEBRA.md) and forces the
 // materialize-then-threshold pipeline. Results are identical; the flag
 // exists for A/B measurement and as an escape hatch.
+//
+// --block-cache-mb=N sizes the decoded-posting-block cache (see
+// docs/INDEX.md); 0 disables it so every block access decodes. The
+// default is the built-in budget (16 MiB).
 //
 // --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
 // cardinalities and storage counters) after the results; --stats-json
@@ -39,6 +43,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/path_stack.h"
+#include "index/block_cache.h"
 #include "index/inverted_index.h"
 #include "query/engine.h"
 #include "storage/database.h"
@@ -54,6 +59,7 @@ struct Args {
   uint64_t max = UINT64_MAX;
   size_t limit = 10;
   size_t threads = 0;
+  size_t block_cache_mb = tix::index::kDefaultBlockCacheBytes >> 20;
   bool explain = false;
   bool stats_json = false;
   bool no_checksums = false;
@@ -75,6 +81,8 @@ Args ParseArgs(int argc, char** argv) {
       args.limit = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--block-cache-mb=", 0) == 0) {
+      args.block_cache_mb = std::strtoull(arg.c_str() + 17, nullptr, 10);
     } else if (arg == "--explain") {
       args.explain = true;
     } else if (arg == "--stats-json") {
@@ -186,6 +194,31 @@ int CmdStats(const Args& args) {
                 tix::FormatWithCommas(
                     static_cast<int64_t>(index.value().stats().num_postings))
                     .c_str());
+    std::printf("  format:     v%d\n", index.value().format_version());
+    const tix::index::IndexResidency residency = index.value().MemoryUsage();
+    std::printf(
+        "  resident:   %s bytes "
+        "(postings %s, skips %s, doc offsets %s; %.2f B/posting)\n",
+        tix::FormatWithCommas(static_cast<int64_t>(residency.total_bytes()))
+            .c_str(),
+        tix::FormatWithCommas(static_cast<int64_t>(residency.postings_bytes))
+            .c_str(),
+        tix::FormatWithCommas(static_cast<int64_t>(residency.skip_bytes))
+            .c_str(),
+        tix::FormatWithCommas(
+            static_cast<int64_t>(residency.doc_offset_bytes))
+            .c_str(),
+        residency.posting_bytes_per_posting());
+    std::printf("  lists:      %zu compressed, %zu decoded\n",
+                residency.compressed_lists, residency.decoded_lists);
+    const tix::index::BlockCacheStats cache =
+        tix::index::DecodedBlockCache::Instance().Stats();
+    std::printf(
+        "  block cache: %s / %s bytes (%zu blocks resident)\n",
+        tix::FormatWithCommas(static_cast<int64_t>(cache.bytes)).c_str(),
+        tix::FormatWithCommas(static_cast<int64_t>(cache.capacity_bytes))
+            .c_str(),
+        cache.entries);
   } else {
     std::printf("index: not built (run: tix_cli index --db=%s)\n",
                 args.db_dir.c_str());
@@ -221,6 +254,7 @@ int CmdQuery(const Args& args) {
   engine_options.num_threads = args.threads;
   engine_options.collect_metrics = args.explain || args.stats_json;
   engine_options.threshold_pushdown = !args.no_pushdown;
+  engine_options.block_cache_bytes = args.block_cache_mb << 20;
   tix::query::QueryEngine engine(db.get(), &index, engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
   if (args.stats_json) {
@@ -327,10 +361,14 @@ int CmdVerify(const Args& args) {
   scrub(db->node_store().file());
   scrub(db->text_store().file());
 
+  // Loading the index IS the scrub for it: the loader re-validates the
+  // block framing, posting order and document statistics of every list
+  // (all three format versions).
   auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
   if (index.ok()) {
-    std::printf("  %s: %llu terms, %llu postings\n",
+    std::printf("  %s: format v%d, %llu terms, %llu postings\n",
                 IndexPath(args.db_dir).c_str(),
+                index.value().format_version(),
                 static_cast<unsigned long long>(index.value().stats().num_terms),
                 static_cast<unsigned long long>(
                     index.value().stats().num_postings));
