@@ -7,14 +7,17 @@
 # by block_index_test) plus the storage fault/corruption suites: the
 # fuzz tests in fault_test and block_index_test mutate saved files
 # hundreds of times, so running them under ASan/UBSan is what turns
-# "no crash observed" into "no UB observed".
+# "no crash observed" into "no UB observed". The serving path rides the
+# same bus: thread_pool_test races Submit against Shutdown, and
+# server_test runs concurrent TCP sessions through the shared result
+# cache, admission control and graceful stop.
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test thread_pool_test server_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|thread_pool_test|server_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -1,0 +1,53 @@
+#ifndef TIX_COMMON_DEADLINE_H_
+#define TIX_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <optional>
+
+/// \file
+/// A nullable wall-clock deadline carried through the query pipeline.
+/// Operators poll `Expired()` at loop checkpoints (every few thousand
+/// postings, or between pipeline stages) and return
+/// Status::DeadlineExceeded past it, so a resident server can bound the
+/// execution time of any one query without preemption. Default-
+/// constructed deadlines are unlimited and cost one branch to check.
+
+namespace tix {
+
+class Deadline {
+ public:
+  /// Unlimited: Expired() is always false.
+  Deadline() = default;
+
+  static Deadline At(std::chrono::steady_clock::time_point when) {
+    Deadline deadline;
+    deadline.when_ = when;
+    return deadline;
+  }
+
+  template <typename Rep, typename Period>
+  static Deadline FromNow(std::chrono::duration<Rep, Period> budget) {
+    return At(std::chrono::steady_clock::now() + budget);
+  }
+
+  bool unlimited() const { return !when_.has_value(); }
+
+  bool Expired() const {
+    return when_.has_value() && std::chrono::steady_clock::now() >= *when_;
+  }
+
+  /// Remaining budget; nullopt when unlimited, clamped at zero when past.
+  std::optional<std::chrono::nanoseconds> Remaining() const {
+    if (!when_.has_value()) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= *when_) return std::chrono::nanoseconds(0);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(*when_ - now);
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> when_;
+};
+
+}  // namespace tix
+
+#endif  // TIX_COMMON_DEADLINE_H_

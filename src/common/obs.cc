@@ -143,6 +143,10 @@ const char* CounterName(Counter counter) {
       return "index_block_cache_hits";
     case Counter::kIndexBlockCacheEvictions:
       return "index_block_cache_evictions";
+    case Counter::kResultCacheHits:
+      return "result_cache_hits";
+    case Counter::kResultCacheMisses:
+      return "result_cache_misses";
   }
   return "unknown";
 }

@@ -50,9 +50,13 @@ enum class Counter : int {
   kIndexBlocksDecoded = 8,
   kIndexBlockCacheHits = 9,       ///< Decoded-block cache hits.
   kIndexBlockCacheEvictions = 10,  ///< Entries evicted to stay in budget.
+  /// Server result-cache outcomes (charged by server::ResultCache to the
+  /// session's context, so server totals roll up through the same tree).
+  kResultCacheHits = 11,
+  kResultCacheMisses = 12,
 };
 
-inline constexpr int kNumCounters = 11;
+inline constexpr int kNumCounters = 13;
 
 /// Stable snake_case name used in EXPLAIN output and the JSON schema.
 const char* CounterName(Counter counter);

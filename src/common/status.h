@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kInternal = 8,
   kResourceExhausted = 9,
   kParseError = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a human readable name, e.g. "InvalidArgument".
@@ -73,6 +74,9 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -91,6 +95,12 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -103,4 +103,17 @@ std::string FormatWithCommas(int64_t v) {
   return std::string(out.rbegin(), out.rend());
 }
 
+bool ParseUint64(std::string_view s, uint64_t* value) {
+  if (s.empty()) return false;
+  uint64_t out = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    out = out * 10 + digit;
+  }
+  *value = out;
+  return true;
+}
+
 }  // namespace tix

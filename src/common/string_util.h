@@ -40,6 +40,13 @@ std::string FormatDouble(double v, int digits);
 /// Thousands separator rendering of an integer (e.g. 10000 -> "10,000").
 std::string FormatWithCommas(int64_t v);
 
+/// Strict base-10 unsigned parse: the whole string must be digits (no
+/// sign, no whitespace, no trailing garbage) and fit in 64 bits. Returns
+/// false — leaving `*value` untouched — otherwise. The checked
+/// replacement for `strtoull(s, nullptr, 10)`, whose silent acceptance
+/// of "8x" and "" produced magic flag values in the tools.
+bool ParseUint64(std::string_view s, uint64_t* value);
+
 }  // namespace tix
 
 #endif  // TIX_COMMON_STRING_UTIL_H_

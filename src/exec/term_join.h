@@ -8,6 +8,7 @@
 
 #include "algebra/scoring.h"
 #include "algebra/threshold.h"
+#include "common/deadline.h"
 #include "common/obs.h"
 #include "common/result.h"
 #include "exec/occurrence_stream.h"
@@ -52,6 +53,10 @@ struct TermJoinOptions {
   /// Optional floor shared between the partitions of a parallel top-K
   /// join; must outlive the join. Only read/raised in pushdown mode.
   TopKFloor* shared_floor = nullptr;
+  /// Optional query deadline (must outlive the join). The merge polls it
+  /// every few thousand occurrences and aborts with DeadlineExceeded —
+  /// the mechanism behind the server's per-query timeout.
+  const Deadline* deadline = nullptr;
 };
 
 /// True when `options` + `scorer` activate the early-terminating top-K
@@ -176,6 +181,9 @@ class TermJoin {
   /// Score upper bound of the document currently being merged; lets the
   /// merge abandon the rest of a document when the floor overtakes it.
   double current_doc_bound_ = 0.0;
+  /// Occurrences left before the next options_.deadline poll (polling
+  /// steady_clock per posting would dominate the merge).
+  uint32_t deadline_countdown_ = 0;
   /// Last floor value accounted in stats_.floor_updates.
   double last_floor_ = 0.0;
   /// Charged for all storage/index work between Open and exhaustion.

@@ -159,6 +159,14 @@ Result<QueryOutput> QueryEngine::ExecuteText(std::string_view text) {
   return Execute(query);
 }
 
+Status QueryEngine::CheckDeadline(const char* stage) const {
+  if (options_.deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("query deadline exceeded (at %s)", stage));
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<algebra::Scorer>> QueryEngine::MakeScorerForClause(
     const ScoreClause& clause, const algebra::IrPredicate& predicate) const {
   auto phrase_idf = [&] {
@@ -233,6 +241,7 @@ Result<QueryOutput> QueryEngine::Execute(const Query& query) {
 Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
                                                obs::OperatorMetrics* plan) {
   QueryOutput output;
+  TIX_RETURN_IF_ERROR(CheckDeadline("start"));
   TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
                        db_->GetDocumentByName(query.path.document));
 
@@ -324,6 +333,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
           std::move(detail));
       exec::ParallelTermJoinOptions join_options;
       join_options.join.enhanced = options_.enhanced_term_join;
+      join_options.join.deadline = &options_.deadline;
       join_options.num_threads = options_.num_threads;
       if (pushdown) {
         join_options.join.threshold = threshold_spec;
@@ -337,6 +347,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
       AttachTermJoinStats(&span, join);
     }
     std::sort(all_scored.begin(), all_scored.end(), exec::DocumentOrderLess);
+    TIX_RETURN_IF_ERROR(CheckDeadline("Scope"));
 
     // Scope to the anchors; `*` targets use descendant-or-self (the
     // paper's ad* edge), named targets plain descendant/child.
@@ -390,6 +401,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
   output.stats.scored_elements = scored.size();
 
   // ---- Pick: granularity selection per anchor. ------------------------
+  TIX_RETURN_IF_ERROR(CheckDeadline("Pick"));
   if (query.pick.has_value() && !scored.empty()) {
     obs::OperatorSpan span(plan, "Pick", query.pick->criterion);
     std::unique_ptr<algebra::PickCriterion> criterion;
@@ -493,6 +505,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
 Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
                                              obs::OperatorMetrics* plan) {
   QueryOutput output;
+  TIX_RETURN_IF_ERROR(CheckDeadline("start"));
   const SimJoinClause& simjoin = *query.simjoin;
 
   // Bindings of each FOR variable: the full structural pattern of its
@@ -530,6 +543,7 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
     span.set_rows(output.stats.anchors);
   }
   if (left_anchors.empty() || right_anchors.empty()) return output;
+  TIX_RETURN_IF_ERROR(CheckDeadline("SimilarityJoin"));
 
   // Similarity join on the designated descendant elements.
   obs::OperatorSpan simjoin_span(
@@ -580,6 +594,7 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
                          MakeScorerForClause(*query.score, predicate));
     exec::ParallelTermJoinOptions term_join_options;
     term_join_options.join.enhanced = options_.enhanced_term_join;
+    term_join_options.join.deadline = &options_.deadline;
     term_join_options.num_threads = options_.num_threads;
     exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
                                 term_join_options);

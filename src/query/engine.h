@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/scoring.h"
+#include "common/deadline.h"
 #include "common/obs.h"
 #include "common/result.h"
 #include "index/block_cache.h"
@@ -85,6 +86,12 @@ struct EngineOptions {
   /// is shared by every engine in the process, so the last-constructed
   /// engine's setting wins.
   size_t block_cache_bytes = index::kDefaultBlockCacheBytes;
+  /// Query deadline, polled between pipeline stages and inside the
+  /// TermJoin merge loop; execution aborts with Status::DeadlineExceeded
+  /// once past it. Default-constructed = unlimited. The server sets this
+  /// per query from its timeout knob (docs/SERVING.md); granularity is a
+  /// stage boundary or ~4k merged postings, not an exact instant.
+  Deadline deadline;
 };
 
 class QueryEngine {
@@ -114,6 +121,10 @@ class QueryEngine {
                                   obs::OperatorMetrics* plan);
   Result<std::unique_ptr<algebra::Scorer>> MakeScorerForClause(
       const ScoreClause& clause, const algebra::IrPredicate& predicate) const;
+  /// DeadlineExceeded naming `stage` once options_.deadline has passed;
+  /// OK otherwise. Called between pipeline stages (TermJoin additionally
+  /// polls mid-merge).
+  Status CheckDeadline(const char* stage) const;
 
   storage::Database* db_;
   const index::InvertedIndex* index_;

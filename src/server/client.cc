@@ -1,0 +1,103 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace tix::server {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const Status status =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> Client::RoundTrip(uint8_t request_type,
+                                      const std::string& payload,
+                                      uint8_t expected_type) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  TIX_RETURN_IF_ERROR(
+      WriteFrame(fd_, static_cast<FrameType>(request_type), payload));
+  TIX_ASSIGN_OR_RETURN(Frame response, ReadFrame(fd_));
+  if (response.type == FrameType::kError) {
+    // A busy server answers the *connection* with an error frame too;
+    // either way the decoded Status is the whole story.
+    return DecodeError(response.payload);
+  }
+  if (response.type != static_cast<FrameType>(expected_type)) {
+    return Status::Internal("unexpected response frame type");
+  }
+  return std::move(response.payload);
+}
+
+Result<std::string> Client::Query(const std::string& text) {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kQuery), text,
+                   static_cast<uint8_t>(FrameType::kResult));
+}
+
+Result<std::string> Client::QueryExplain(const std::string& text) {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kQueryExplain), text,
+                   static_cast<uint8_t>(FrameType::kResult));
+}
+
+Result<std::string> Client::Stats() {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kStats), "",
+                   static_cast<uint8_t>(FrameType::kStatsJson));
+}
+
+Status Client::Ping() {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kPing), "",
+                   static_cast<uint8_t>(FrameType::kPong))
+      .status();
+}
+
+Status Client::RequestShutdown() {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kShutdown), "",
+                   static_cast<uint8_t>(FrameType::kPong))
+      .status();
+}
+
+}  // namespace tix::server

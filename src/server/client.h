@@ -1,0 +1,66 @@
+#ifndef TIX_SERVER_CLIENT_H_
+#define TIX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+/// \file
+/// Minimal blocking client for the tixd protocol: one connection, one
+/// outstanding request at a time (the protocol is a strict
+/// request/response alternation). Used by the serve benchmark and the
+/// server tests; scripting against tixd from C++ starts here.
+
+namespace tix::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  TIX_DISALLOW_COPY_AND_ASSIGN(Client);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects over TCP. Fails with IOError if the server refuses, or
+  /// resurfaces the server's busy error if it rejects the session.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs one query; returns the rendered result text. Server-side
+  /// failures (parse errors, admission rejection, timeouts) come back
+  /// as the original Status via the error frame.
+  Result<std::string> Query(const std::string& text);
+
+  /// Like Query but the response embeds the EXPLAIN ANALYZE tree.
+  /// Never served from the result cache.
+  Result<std::string> QueryExplain(const std::string& text);
+
+  /// Fetches the server stats JSON document.
+  Result<std::string> Stats();
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  /// Asks the server to shut down gracefully (acknowledged with a pong
+  /// before the server begins stopping).
+  Status RequestShutdown();
+
+  void Close();
+
+ private:
+  /// Writes `request`, reads one response, and checks it against
+  /// `expected` (error frames are decoded and returned as the Status).
+  Result<std::string> RoundTrip(uint8_t request_type,
+                                const std::string& payload,
+                                uint8_t expected_type);
+
+  int fd_ = -1;
+};
+
+}  // namespace tix::server
+
+#endif  // TIX_SERVER_CLIENT_H_

@@ -1,0 +1,107 @@
+#include "server/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace tix::server {
+
+namespace {
+
+/// write(2) until everything is out (EINTR-safe).
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("write: connection closed");
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// read(2) until `size` bytes arrived. `*got` reports progress so the
+/// caller can tell a clean EOF (0 bytes) from a truncated frame.
+Status ReadAll(int fd, char* data, size_t size, size_t* got) {
+  *got = 0;
+  while (*got < size) {
+    const ssize_t n = ::read(fd, data + *got, size - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("read: connection closed");
+    *got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size()) + 1;
+  char header[5];
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  header[4] = static_cast<char>(type);
+  TIX_RETURN_IF_ERROR(WriteAll(fd, header, sizeof header));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char header[4];
+  size_t got = 0;
+  const Status header_read = ReadAll(fd, header, sizeof header, &got);
+  if (!header_read.ok()) {
+    // EOF exactly between frames is how sessions end; report it with the
+    // canonical message. Mid-header EOF means a truncated frame.
+    if (got == 0) return Status::IOError("connection closed");
+    return header_read.WithContext("truncated frame header");
+  }
+  const uint32_t length = static_cast<uint32_t>(
+      static_cast<uint8_t>(header[0]) |
+      (static_cast<uint8_t>(header[1]) << 8) |
+      (static_cast<uint8_t>(header[2]) << 16) |
+      (static_cast<uint8_t>(header[3]) << 24));
+  if (length == 0) return Status::Corruption("zero-length frame");
+  if (length > kMaxFrameBytes) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds limit");
+  }
+  Frame frame;
+  char type = 0;
+  TIX_RETURN_IF_ERROR(
+      ReadAll(fd, &type, 1, &got).WithContext("truncated frame"));
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(type));
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty()) {
+    TIX_RETURN_IF_ERROR(
+        ReadAll(fd, frame.payload.data(), frame.payload.size(), &got)
+            .WithContext("truncated frame payload"));
+  }
+  return frame;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string payload;
+  payload.push_back(static_cast<char>(status.code()));
+  payload += status.message();
+  return payload;
+}
+
+Status DecodeError(std::string_view payload) {
+  if (payload.empty()) return Status::Internal("malformed error frame");
+  const StatusCode code = static_cast<StatusCode>(payload[0]);
+  if (code == StatusCode::kOk) return Status::Internal("error frame with OK");
+  return Status(code, std::string(payload.substr(1)));
+}
+
+}  // namespace tix::server

@@ -1,0 +1,68 @@
+#ifndef TIX_SERVER_PROTOCOL_H_
+#define TIX_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file
+/// The tixd wire protocol: length-prefixed frames over a localhost TCP
+/// stream (full format reference: docs/SERVING.md).
+///
+/// Every frame is
+///
+///   [u32 length, little-endian][u8 type][payload: length-1 bytes]
+///
+/// where `length` counts the type byte plus the payload. A session is a
+/// strict request/response alternation on one connection: the client
+/// writes one request frame, the server answers with exactly one
+/// response frame, in order. Frames longer than kMaxFrameBytes are a
+/// protocol error and end the session.
+
+namespace tix::server {
+
+/// Upper bound on one frame (type byte + payload). Queries are tiny;
+/// responses carry rendered result XML, which the server already caps
+/// via its render limit. Anything bigger is a corrupt or hostile peer.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kQuery = 0x01,         ///< Payload: query text. Response: kResult/kError.
+  kQueryExplain = 0x02,  ///< Like kQuery + EXPLAIN ANALYZE tree appended.
+  kStats = 0x03,         ///< Empty payload. Response: kStatsJson.
+  kPing = 0x04,          ///< Empty payload. Response: kPong.
+  kShutdown = 0x05,      ///< Ask the server to stop. Response: kPong first.
+  // Responses (server -> client).
+  kResult = 0x81,     ///< Payload: rendered result text.
+  kError = 0x82,      ///< Payload: [u8 StatusCode][message] (EncodeError).
+  kStatsJson = 0x83,  ///< Payload: server stats JSON.
+  kPong = 0x84,       ///< Empty payload.
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Writes one complete frame, retrying short writes. IOError on a
+/// closed/failed socket, InvalidArgument when the payload exceeds
+/// kMaxFrameBytes.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one complete frame, retrying short reads. A peer that closes
+/// the connection cleanly *between* frames yields IOError with message
+/// "connection closed" (the normal end of a session); a close mid-frame
+/// or an oversized length yields a distinct corruption-flavored message.
+Result<Frame> ReadFrame(int fd);
+
+/// Error payload codec: one status-code byte followed by the message, so
+/// the client can resurface the server-side Status losslessly.
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload);
+
+}  // namespace tix::server
+
+#endif  // TIX_SERVER_PROTOCOL_H_

@@ -1,0 +1,104 @@
+#include "server/result_cache.h"
+
+#include "common/obs.h"
+#include "query/lexer.h"
+
+namespace tix::server {
+
+std::string NormalizeQueryText(std::string_view text) {
+  auto tokens = query::Lex(text);
+  if (!tokens.ok()) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  for (const query::Token& token : tokens.value()) {
+    if (token.kind == query::TokenKind::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    switch (token.kind) {
+      case query::TokenKind::kVariable:
+        out.push_back('$');
+        out += token.text;
+        break;
+      case query::TokenKind::kString:
+        // Always double-quoted: the lexer treats '...' and "..." alike.
+        out.push_back('"');
+        out += token.text;
+        out.push_back('"');
+        break;
+      default:
+        out += token.text;  // keywords arrive uppercased from the lexer
+        break;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const std::string> ResultCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    obs::Count(obs::Counter::kResultCacheMisses);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  ++hits_;
+  obs::Count(obs::Counter::kResultCacheHits);
+  return it->second->payload;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const std::string> payload) {
+  if (payload == nullptr) return;
+  const size_t charge = Charge(key, *payload);
+  if (charge > capacity_bytes_) return;  // cannot ever fit
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Replace in place (two sessions can miss-then-execute the same
+    // query concurrently; both payloads are equivalent).
+    bytes_ -= it->second->charge;
+    it->second->payload = std::move(payload);
+    it->second->charge = charge;
+    bytes_ += charge;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload), charge});
+  map_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  bytes_ += charge;
+  ++inserts_;
+  EvictToCapacityLocked();
+}
+
+void ResultCache::EvictToCapacityLocked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.charge;
+    map_.erase(std::string_view(victim.key));
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.inserts = inserts_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace tix::server

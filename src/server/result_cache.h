@@ -1,0 +1,100 @@
+#ifndef TIX_SERVER_RESULT_CACHE_H_
+#define TIX_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+/// \file
+/// The serving-path result cache: a size-bounded LRU map from
+/// *normalized* query text to the fully rendered response payload.
+/// Queries are read-only over an immutable database + index, so a cached
+/// response never goes stale within one server process; restart (or a
+/// future reindex hook) is the invalidation story (docs/SERVING.md).
+///
+/// Normalization runs the real query lexer and re-serializes the token
+/// stream, so "for $a in ..." and "FOR   $a IN ..." (and comment or
+/// newline differences) collapse to one entry while case-sensitive
+/// parts — tag names, string literals, document names — stay distinct.
+
+namespace tix::server {
+
+/// Canonical cache key for `text`: the lexed token stream re-serialized
+/// with single spaces, keywords uppercased (the lexer already does
+/// that), variables `$`-prefixed, and string literals double-quoted.
+/// Queries that do not lex fall back to the raw text — they will fail
+/// identically in the engine, and are never inserted anyway.
+std::string NormalizeQueryText(std::string_view text);
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;  ///< Charged bytes currently resident.
+  uint64_t capacity_bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// Capacity 0 disables the cache: every Lookup misses, Insert drops.
+  explicit ResultCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  TIX_DISALLOW_COPY_AND_ASSIGN(ResultCache);
+
+  /// The cached payload, or nullptr on miss. Promotes the entry to MRU.
+  /// Charges obs::kResultCacheHits / kResultCacheMisses to the calling
+  /// thread's metrics context (the server session's), so cache behavior
+  /// shows up in the same observability tree as every other counter.
+  std::shared_ptr<const std::string> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the payload for `key`, then evicts LRU
+  /// entries until within capacity. Payloads larger than the whole
+  /// capacity are not admitted.
+  void Insert(const std::string& key,
+              std::shared_ptr<const std::string> payload);
+
+  ResultCacheStats Stats() const;
+
+  /// Drops every entry; counters keep their values.
+  void Clear();
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> payload;
+    size_t charge = 0;
+  };
+
+  /// Approximate footprint of one entry (strings + node overhead).
+  static size_t Charge(const std::string& key, const std::string& payload) {
+    return key.size() + payload.size() + 96;
+  }
+
+  /// Caller holds mu_.
+  void EvictToCapacityLocked();
+
+  const size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  /// LRU order: front = most recent. The map points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> map_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tix::server
+
+#endif  // TIX_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,407 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "index/block_cache.h"
+#include "server/protocol.h"
+
+namespace tix::server {
+
+namespace {
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void AppendJsonField(std::string* out, const char* key, uint64_t value,
+                     bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += StrFormat("\"%s\":%llu", key, (unsigned long long)value);
+}
+
+}  // namespace
+
+/// Blocks (bounded) for one of `max_inflight` execution slots. The
+/// waiter count is the admission queue: at most `admission_queue`
+/// queries may be parked here, each for at most `admission_wait_ms`.
+class TixServer::AdmissionSlot {
+ public:
+  AdmissionSlot(TixServer* server) : server_(server) {
+    const ServerOptions& opt = server_->options_;
+    std::unique_lock<std::mutex> lock(server_->admission_mu_);
+    if (server_->inflight_ < opt.max_inflight) {
+      ++server_->inflight_;
+      held_ = true;
+      return;
+    }
+    if (server_->waiters_ >= opt.admission_queue) {
+      status_ = Status::ResourceExhausted(
+          "server overloaded: admission queue full");
+      return;
+    }
+    ++server_->waiters_;
+    const bool got = server_->admission_cv_.wait_for(
+        lock, std::chrono::milliseconds(opt.admission_wait_ms), [this] {
+          return server_->inflight_ < server_->options_.max_inflight ||
+                 server_->stopping_.load(std::memory_order_acquire);
+        });
+    --server_->waiters_;
+    if (!got || server_->stopping_.load(std::memory_order_acquire)) {
+      status_ = Status::ResourceExhausted(
+          "server overloaded: timed out waiting for an execution slot");
+      return;
+    }
+    ++server_->inflight_;
+    held_ = true;
+  }
+
+  ~AdmissionSlot() {
+    if (!held_) return;
+    {
+      std::lock_guard<std::mutex> lock(server_->admission_mu_);
+      --server_->inflight_;
+    }
+    server_->admission_cv_.notify_one();
+  }
+
+  bool ok() const { return held_; }
+  const Status& status() const { return status_; }
+
+ private:
+  TixServer* const server_;
+  bool held_ = false;
+  Status status_ = Status::OK();
+};
+
+TixServer::TixServer(storage::Database* db, const index::InvertedIndex* index,
+                     ServerOptions options)
+    : db_(db), index_(index), options_(std::move(options)) {
+  result_cache_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
+}
+
+TixServer::~TixServer() { Stop(); }
+
+Status TixServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+  shutdown_requested_ = false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  const size_t threads =
+      options_.session_threads == 0 ? 1 : options_.session_threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TixServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  admission_cv_.notify_all();
+
+  // Wake the accept loop, then every session blocked in ReadFrame. The
+  // fds stay open (sessions own the close); shutdown() just makes their
+  // next read return 0 so the loops fall out cleanly.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_ != nullptr) pool_->Shutdown();
+  pool_.reset();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    // Keep shutdown_requested_ as-is: WaitForShutdownRequest reports
+    // whether a *client* asked, and !running() also releases waiters.
+  }
+  shutdown_cv_.notify_all();
+}
+
+void TixServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or fatally broken): stop
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseFd(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    const size_t max_sessions = options_.max_sessions == 0
+                                    ? options_.session_threads
+                                    : options_.max_sessions;
+    if (active_sessions_.load(std::memory_order_acquire) >= max_sessions) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      WriteFrame(fd, FrameType::kError,
+                 EncodeError(Status::ResourceExhausted(
+                     "server busy: session limit reached")))
+          .ok();  // best effort; the close is the real answer
+      CloseFd(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session_fds_.insert(fd);
+    }
+    // The pool has exactly max-session workers, so a session task never
+    // waits behind another session (admission above bounds acceptance).
+    pool_->Submit([this, fd] { RunSession(fd); });
+  }
+}
+
+void TixServer::RunSession(int fd) {
+  // Everything this session charges (storage fetches, cache hits...)
+  // rolls up into the server root for STATS, while staying per-session
+  // exact for this session's EXPLAIN output.
+  obs::MetricsContext session_metrics(&root_metrics_);
+  obs::ScopedMetrics install(&session_metrics);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Frame> frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // clean close, truncation or hostile frame
+    Status handled = Status::OK();
+    switch (frame->type) {
+      case FrameType::kQuery:
+        handled = HandleQuery(fd, frame->payload, /*explain=*/false);
+        break;
+      case FrameType::kQueryExplain:
+        handled = HandleQuery(fd, frame->payload, /*explain=*/true);
+        break;
+      case FrameType::kStats:
+        handled = WriteFrame(fd, FrameType::kStatsJson, StatsJson());
+        break;
+      case FrameType::kPing:
+        handled = WriteFrame(fd, FrameType::kPong, "");
+        break;
+      case FrameType::kShutdown: {
+        handled = WriteFrame(fd, FrameType::kPong, "");
+        // Stop() joins the pool, so it cannot run here on a pool
+        // thread; wake WaitForShutdownRequest (the daemon main thread)
+        // and let it drive the stop.
+        {
+          std::lock_guard<std::mutex> lock(shutdown_mu_);
+          shutdown_requested_ = true;
+        }
+        shutdown_cv_.notify_all();
+        break;
+      }
+      default:
+        handled = WriteFrame(
+            fd, FrameType::kError,
+            EncodeError(Status::InvalidArgument("unexpected frame type")));
+        break;
+    }
+    if (!handled.ok()) break;  // socket gone; no way to report further
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_.erase(fd);
+  }
+  CloseFd(fd);
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Status TixServer::HandleQuery(int fd, const std::string& text, bool explain) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = NormalizeQueryText(text);
+
+  // Fast path: serve straight from the result cache — no admission
+  // needed, a cache hit does no engine work. EXPLAIN always executes
+  // (its payload embeds per-run metrics, which are meaningless cached).
+  if (!explain) {
+    if (const auto cached = result_cache_->Lookup(key); cached != nullptr) {
+      queries_ok_.fetch_add(1, std::memory_order_relaxed);
+      return WriteFrame(fd, FrameType::kResult, *cached);
+    }
+  }
+
+  AdmissionSlot slot(this);
+  if (!slot.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
+  }
+  // The timeout clock starts at admission: queue wait is billed
+  // separately (admission_wait_ms), execution gets the full budget.
+  Deadline deadline;
+  if (options_.query_timeout_ms > 0) {
+    deadline =
+        Deadline::FromNow(std::chrono::milliseconds(options_.query_timeout_ms));
+  }
+  if (options_.test_query_hook) options_.test_query_hook(key);
+
+  Result<std::string> rendered = ExecuteQuery(text, explain, deadline);
+  if (!rendered.ok()) {
+    if (rendered.status().IsDeadlineExceeded()) {
+      queries_timeout_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queries_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return WriteFrame(fd, FrameType::kError, EncodeError(rendered.status()));
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  if (!explain) {
+    result_cache_->Insert(
+        key, std::make_shared<const std::string>(rendered.value()));
+  }
+  return WriteFrame(fd, FrameType::kResult, rendered.value());
+}
+
+Result<std::string> TixServer::ExecuteQuery(const std::string& text,
+                                            bool explain,
+                                            const Deadline& deadline) {
+  query::EngineOptions engine_options = options_.engine;
+  engine_options.collect_metrics = explain;
+  engine_options.deadline = deadline;
+  // Engines are cheap to construct: the database, index and decoded-
+  // block cache behind them are the long-lived shared state.
+  query::QueryEngine engine(db_, index_, engine_options);
+  TIX_ASSIGN_OR_RETURN(query::QueryOutput output, engine.ExecuteText(text));
+  TIX_ASSIGN_OR_RETURN(std::string body,
+                       engine.RenderXml(output, options_.render_limit));
+  std::string response = StrFormat(
+      "%zu results (anchors %llu, scored %llu)\n", output.results.size(),
+      (unsigned long long)output.stats.anchors,
+      (unsigned long long)output.stats.scored_elements);
+  response += body;
+  if (explain && output.plan.has_value()) {
+    response += "\n";
+    response += obs::RenderText(*output.plan);
+  }
+  return response;
+}
+
+ServerStats TixServer::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  stats.queries_error = queries_error_.load(std::memory_order_relaxed);
+  stats.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  stats.queries_timeout = queries_timeout_.load(std::memory_order_relaxed);
+  stats.result_cache_hits = result_cache_->Stats().hits;
+  stats.active_sessions = active_sessions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    stats.inflight = inflight_;
+  }
+  return stats;
+}
+
+std::string TixServer::StatsJson() const {
+  const ServerStats server = Stats();
+  const ResultCacheStats cache = result_cache_->Stats();
+  const index::BlockCacheStats blocks =
+      index::DecodedBlockCache::Instance().Stats();
+
+  std::string out = "{\"server\":{";
+  bool first = true;
+  AppendJsonField(&out, "connections_accepted", server.connections_accepted,
+                  &first);
+  AppendJsonField(&out, "connections_rejected", server.connections_rejected,
+                  &first);
+  AppendJsonField(&out, "queries", server.queries, &first);
+  AppendJsonField(&out, "queries_ok", server.queries_ok, &first);
+  AppendJsonField(&out, "queries_error", server.queries_error, &first);
+  AppendJsonField(&out, "queries_rejected", server.queries_rejected, &first);
+  AppendJsonField(&out, "queries_timeout", server.queries_timeout, &first);
+  AppendJsonField(&out, "active_sessions", server.active_sessions, &first);
+  AppendJsonField(&out, "inflight", server.inflight, &first);
+  out += "},\"result_cache\":{";
+  first = true;
+  AppendJsonField(&out, "hits", cache.hits, &first);
+  AppendJsonField(&out, "misses", cache.misses, &first);
+  AppendJsonField(&out, "inserts", cache.inserts, &first);
+  AppendJsonField(&out, "evictions", cache.evictions, &first);
+  AppendJsonField(&out, "entries", cache.entries, &first);
+  AppendJsonField(&out, "bytes", cache.bytes, &first);
+  AppendJsonField(&out, "capacity_bytes", cache.capacity_bytes, &first);
+  out += "},\"block_cache\":{";
+  first = true;
+  AppendJsonField(&out, "hits", blocks.hits, &first);
+  AppendJsonField(&out, "misses", blocks.misses, &first);
+  AppendJsonField(&out, "entries", blocks.entries, &first);
+  AppendJsonField(&out, "bytes", blocks.bytes, &first);
+  AppendJsonField(&out, "capacity_bytes", blocks.capacity_bytes, &first);
+  out += "},\"work\":{";
+  first = true;
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const auto counter = static_cast<obs::Counter>(i);
+    AppendJsonField(&out, obs::CounterName(counter),
+                    root_metrics_.value(counter), &first);
+  }
+  out += "}}";
+  return out;
+}
+
+bool TixServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutdown_requested_ || !running_.load(std::memory_order_acquire);
+  });
+  return shutdown_requested_;
+}
+
+}  // namespace tix::server

@@ -1,0 +1,92 @@
+#ifndef TIX_TOOLS_FLAG_PARSE_H_
+#define TIX_TOOLS_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/string_util.h"
+
+/// \file
+/// Checked `--flag=value` parsing shared by tix_cli and tixd. The old
+/// scheme — `strtoull(arg.c_str() + offset, nullptr, 10)` with a
+/// hand-counted offset — silently read `--threads=8x` as 8 and
+/// `--threads=` as 0; these helpers die with the offending flag text
+/// instead, and there are no magic offsets to miscount.
+
+namespace tix::tools {
+
+/// True iff `arg` is `--NAME=...`; on match `*value` is the text after
+/// the '='. `name` excludes the dashes and '='.
+inline bool MatchFlag(std::string_view arg, std::string_view name,
+                      std::string_view* value) {
+  if (arg.size() < name.size() + 3) return false;
+  if (arg.substr(0, 2) != "--") return false;
+  if (arg.substr(2, name.size()) != name) return false;
+  if (arg[2 + name.size()] != '=') return false;
+  *value = arg.substr(3 + name.size());
+  return true;
+}
+
+[[noreturn]] inline void DieOnFlag(std::string_view arg,
+                                   const char* expected) {
+  std::fprintf(stderr, "error: bad flag value '%.*s' (expected %s)\n",
+               static_cast<int>(arg.size()), arg.data(), expected);
+  std::exit(2);
+}
+
+/// Parses `--NAME=N` into a uint64. Dies with a clear message on a
+/// non-numeric, empty or overflowing value.
+inline bool ParseUint64Flag(std::string_view arg, std::string_view name,
+                            uint64_t* out) {
+  std::string_view value;
+  if (!MatchFlag(arg, name, &value)) return false;
+  if (!ParseUint64(value, out)) {
+    DieOnFlag(arg, "a non-negative integer");
+  }
+  return true;
+}
+
+/// Parses `--NAME=N` into a size_t count (threads, limits, ports...).
+inline bool ParseSizeFlag(std::string_view arg, std::string_view name,
+                          size_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint64Flag(arg, name, &value)) return false;
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (value > static_cast<uint64_t>(SIZE_MAX)) {
+      DieOnFlag(arg, "a smaller integer");
+    }
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// Parses `--NAME=N` (mebibytes) into a byte count, refusing values
+/// whose `<< 20` would overflow instead of silently wrapping to a tiny
+/// cache.
+inline bool ParseMiBFlag(std::string_view arg, std::string_view name,
+                         size_t* out_bytes) {
+  uint64_t mib = 0;
+  if (!ParseUint64Flag(arg, name, &mib)) return false;
+  if (mib > (static_cast<uint64_t>(SIZE_MAX) >> 20)) {
+    DieOnFlag(arg, "a mebibyte count that fits in memory");
+  }
+  *out_bytes = static_cast<size_t>(mib) << 20;
+  return true;
+}
+
+/// Parses `--NAME=N` into a TCP port (0..65535; 0 = ephemeral).
+inline bool ParsePortFlag(std::string_view arg, std::string_view name,
+                          uint16_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint64Flag(arg, name, &value)) return false;
+  if (value > 65535) DieOnFlag(arg, "a port in 0..65535");
+  *out = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace tix::tools
+
+#endif  // TIX_TOOLS_FLAG_PARSE_H_

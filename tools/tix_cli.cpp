@@ -42,6 +42,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "flag_parse.h"
 #include "exec/path_stack.h"
 #include "index/block_cache.h"
 #include "index/inverted_index.h"
@@ -59,7 +60,7 @@ struct Args {
   uint64_t max = UINT64_MAX;
   size_t limit = 10;
   size_t threads = 0;
-  size_t block_cache_mb = tix::index::kDefaultBlockCacheBytes >> 20;
+  size_t block_cache_bytes = tix::index::kDefaultBlockCacheBytes;
   bool explain = false;
   bool stats_json = false;
   bool no_checksums = false;
@@ -67,22 +68,24 @@ struct Args {
 };
 
 Args ParseArgs(int argc, char** argv) {
+  using tix::tools::MatchFlag;
+  using tix::tools::ParseMiBFlag;
+  using tix::tools::ParseSizeFlag;
+  using tix::tools::ParseUint64Flag;
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--db=", 0) == 0) {
-      args.db_dir = arg.substr(5);
-    } else if (arg.rfind("--min=", 0) == 0) {
-      args.min = std::strtoull(arg.c_str() + 6, nullptr, 10);
-    } else if (arg.rfind("--max=", 0) == 0) {
-      args.max = std::strtoull(arg.c_str() + 6, nullptr, 10);
-    } else if (arg.rfind("--limit=", 0) == 0) {
-      args.limit = std::strtoull(arg.c_str() + 8, nullptr, 10);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
-    } else if (arg.rfind("--block-cache-mb=", 0) == 0) {
-      args.block_cache_mb = std::strtoull(arg.c_str() + 17, nullptr, 10);
+    std::string_view value;
+    if (MatchFlag(arg, "db", &value)) {
+      args.db_dir = std::string(value);
+    } else if (ParseUint64Flag(arg, "min", &args.min) ||
+               ParseUint64Flag(arg, "max", &args.max) ||
+               ParseSizeFlag(arg, "limit", &args.limit) ||
+               ParseSizeFlag(arg, "threads", &args.threads) ||
+               ParseMiBFlag(arg, "block-cache-mb",
+                            &args.block_cache_bytes)) {
+      // Parsed (or died with a message naming the bad flag).
     } else if (arg == "--explain") {
       args.explain = true;
     } else if (arg == "--stats-json") {
@@ -91,6 +94,9 @@ Args ParseArgs(int argc, char** argv) {
       args.no_checksums = true;
     } else if (arg == "--no-pushdown") {
       args.no_pushdown = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      std::exit(2);
     } else {
       args.positional.push_back(arg);
     }
@@ -254,7 +260,7 @@ int CmdQuery(const Args& args) {
   engine_options.num_threads = args.threads;
   engine_options.collect_metrics = args.explain || args.stats_json;
   engine_options.threshold_pushdown = !args.no_pushdown;
-  engine_options.block_cache_bytes = args.block_cache_mb << 20;
+  engine_options.block_cache_bytes = args.block_cache_bytes;
   tix::query::QueryEngine engine(db.get(), &index, engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
   if (args.stats_json) {

@@ -1,0 +1,152 @@
+// tixd — the resident TIX query daemon (docs/SERVING.md).
+//
+//   tixd --db=DIR [--port=N] [--host=ADDR]
+//        [--sessions=N] [--inflight=N] [--admission-queue=N]
+//        [--admission-wait-ms=N] [--timeout-ms=N]
+//        [--result-cache-mb=N] [--block-cache-mb=N]
+//        [--threads=N] [--no-pushdown] [--limit=N]
+//
+// Opens the database and index once, then serves queries over the
+// length-prefixed TCP protocol until SIGINT/SIGTERM or a client
+// SHUTDOWN frame. Compare with `tix_cli query`, which pays the full
+// open+load on every invocation: bench/bench_serve.cpp measures the
+// difference.
+//
+// On successful startup the daemon prints exactly one line
+//
+//   READY port=<port> pid=<pid>
+//
+// to stdout and flushes it, so wrappers (bench_serve --tixd=..., shell
+// scripts) can parse the chosen ephemeral port.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "flag_parse.h"
+#include "index/block_cache.h"
+#include "index/inverted_index.h"
+#include "server/server.h"
+#include "storage/database.h"
+
+namespace {
+
+// Self-pipe wakeup for SIGINT/SIGTERM: the handler writes one byte; the
+// main thread waits in a blocking read between Start() and Stop(). No
+// async-signal-unsafe calls in the handler.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleStopSignal(int) {
+  const char byte = 1;
+  // Best effort; a full pipe already means a wakeup is pending.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tixd --db=DIR [--port=N] [--host=ADDR]\n"
+               "            [--sessions=N] [--inflight=N]\n"
+               "            [--admission-queue=N] [--admission-wait-ms=N]\n"
+               "            [--timeout-ms=N] [--result-cache-mb=N]\n"
+               "            [--block-cache-mb=N] [--threads=N]\n"
+               "            [--no-pushdown] [--limit=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tix::tools::MatchFlag;
+  using tix::tools::ParseMiBFlag;
+  using tix::tools::ParsePortFlag;
+  using tix::tools::ParseSizeFlag;
+  using tix::tools::ParseUint64Flag;
+
+  std::string db_dir;
+  tix::server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string_view value;
+    if (MatchFlag(arg, "db", &value)) {
+      db_dir = std::string(value);
+    } else if (MatchFlag(arg, "host", &value)) {
+      options.host = std::string(value);
+    } else if (ParsePortFlag(arg, "port", &options.port) ||
+               ParseSizeFlag(arg, "sessions", &options.session_threads) ||
+               ParseSizeFlag(arg, "inflight", &options.max_inflight) ||
+               ParseSizeFlag(arg, "admission-queue",
+                             &options.admission_queue) ||
+               ParseUint64Flag(arg, "admission-wait-ms",
+                               &options.admission_wait_ms) ||
+               ParseUint64Flag(arg, "timeout-ms", &options.query_timeout_ms) ||
+               ParseMiBFlag(arg, "result-cache-mb",
+                            &options.result_cache_bytes) ||
+               ParseMiBFlag(arg, "block-cache-mb",
+                            &options.engine.block_cache_bytes) ||
+               ParseSizeFlag(arg, "threads", &options.engine.num_threads) ||
+               ParseSizeFlag(arg, "limit", &options.render_limit)) {
+      // Parsed (or died with a message naming the bad flag).
+    } else if (arg == "--no-pushdown") {
+      options.engine.threshold_pushdown = false;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (db_dir.empty()) return Usage();
+
+  auto db = tix::storage::Database::Open(db_dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto index =
+      tix::index::InvertedIndex::LoadFromFile(db_dir + "/index.tix");
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s (run: tix_cli index --db=%s)\n",
+                 index.status().ToString().c_str(), db_dir.c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the daemon
+
+  tix::server::TixServer server(db.value().get(), &index.value(), options);
+  const tix::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("READY port=%u pid=%d\n", server.port(),
+              static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  // Wait for either a client SHUTDOWN frame or a stop signal. The
+  // signal watcher pokes the server's shutdown handshake so one wait
+  // covers both; Stop() runs here on the main thread (it joins the
+  // session pool, so it must not run on a session thread).
+  std::thread signal_watcher([&server] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.Stop();
+  });
+  const bool client_requested = server.WaitForShutdownRequest();
+  if (client_requested) server.Stop();
+  // Unblock the watcher if it is still waiting on the pipe.
+  HandleStopSignal(0);
+  signal_watcher.join();
+
+  std::fprintf(stderr, "tixd: stopped (%s)\n",
+               client_requested ? "client shutdown request" : "signal");
+  return 0;
+}
