@@ -1,0 +1,389 @@
+// Live-ingestion benchmark for the segmented (LSM-style) index:
+//
+//   1. ingest throughput — docs/sec through an in-process live-mode
+//      TixServer (INGEST frames: parse + store + index + snapshot
+//      publish per document), with background compaction enabled;
+//   2. query latency during churn — reader threads run scored queries
+//      against pinned snapshots while the writer ingests, deletes and
+//      force-compacts. Self-gate: ZERO query errors (a query that
+//      observes a half-published index is exactly the bug class the
+//      snapshot design exists to prevent);
+//   3. segment-count sweep — the same corpus sealed into 1..N segments,
+//      query latency per count, quantifying the per-segment overhead
+//      that background compaction exists to bound.
+//
+//   ./build/bench/bench_ingest [--docs=1500] [--data-dir=/tmp/tix_bench_ingest]
+//                              [--out=BENCH_ingest.json] [--seed=42]
+//                              [--churn-readers=3] [--smoke]
+//
+// --smoke shrinks everything for CI; the zero-query-error gate is
+// enforced in both modes (exit 1 on violation).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "index/segmented_index.h"
+#include "query/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/database.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace tix::bench;
+
+/// Deterministic article with planted terms: every doc carries "xhot",
+/// a minority carry the rare "xcold" and the phrase "xone xtwo".
+std::string MakeArticleXml(std::mt19937_64* rng) {
+  static const char* kVocabulary[] = {"alpha", "beta",  "gamma", "delta",
+                                      "kappa", "sigma", "omega", "lambda",
+                                      "theta", "psi"};
+  std::uniform_int_distribution<size_t> pick(
+      0, sizeof(kVocabulary) / sizeof(kVocabulary[0]) - 1);
+  auto words = [&](int count) {
+    std::string out;
+    for (int i = 0; i < count; ++i) {
+      if (!out.empty()) out += ' ';
+      out += kVocabulary[pick(*rng)];
+    }
+    return out;
+  };
+  std::string xml = "<article><title>" + words(4) + " xhot</title>";
+  const int sections = 2 + static_cast<int>((*rng)() % 3);
+  for (int s = 0; s < sections; ++s) {
+    xml += "<sec><p>" + words(18);
+    if ((*rng)() % 7 == 0) xml += " xcold";
+    if ((*rng)() % 3 == 0) xml += " xone xtwo";
+    xml += " xhot " + words(12) + "</p></sec>";
+  }
+  xml += "</article>";
+  return xml;
+}
+
+std::string DocName(uint64_t i) {
+  return "doc" + std::to_string(i) + ".xml";
+}
+
+/// The query pool: scored point queries over planted terms against a
+/// rotating set of documents, same shape as the serve bench pool.
+std::vector<std::string> BuildQueryPool(uint64_t num_docs) {
+  std::vector<std::string> pool;
+  const char* scorers[] = {
+      "foo({\"xhot\"}) THRESHOLD STOP AFTER 5",
+      "foo({\"xhot\", \"xcold\"}) THRESHOLD STOP AFTER 3",
+      "tfidf({\"xhot\", \"xcold\"}) THRESHOLD STOP AFTER 5",
+      "foo({\"xone xtwo\"})",
+  };
+  for (uint64_t i = 0; i < 8; ++i) {
+    pool.push_back(tix::StrFormat(
+        "FOR $a IN document(\"%s\")//article//* SCORE $a USING %s RETURN $a",
+        DocName((i * 7) % num_docs).c_str(), scorers[i % 4]));
+  }
+  return pool;
+}
+
+double PercentileMs(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t i = std::min(latencies->size() - 1,
+                            static_cast<size_t>(p * latencies->size()));
+  return (*latencies)[i] * 1000.0;
+}
+
+struct SweepPoint {
+  uint64_t segments = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.GetString("smoke", "") == "true";
+  const uint64_t num_docs = flags.GetInt("docs", smoke ? 150 : 1500);
+  const uint64_t seed = flags.GetInt("seed", 42);
+  const std::string dir =
+      flags.GetString("data-dir", "/tmp/tix_bench_ingest");
+  const std::string out = flags.GetString("out", "BENCH_ingest.json");
+  const int churn_readers =
+      static_cast<int>(flags.GetInt("churn-readers", 3));
+
+  // Pre-generate every document so generation cost stays out of the
+  // ingest timing.
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> corpus;
+  corpus.reserve(num_docs);
+  for (uint64_t i = 0; i < num_docs; ++i) corpus.push_back(MakeArticleXml(&rng));
+  const std::vector<std::string> pool = BuildQueryPool(num_docs);
+
+  std::printf("Live ingestion — %llu docs, seed %llu\n\n",
+              static_cast<unsigned long long>(num_docs),
+              static_cast<unsigned long long>(seed));
+
+  // ------------------------------------------------- 1. ingest throughput
+  // Fresh database + live server; every document goes through the full
+  // INGEST path (frame decode, parse, store, index, snapshot publish)
+  // with background compaction running on the maintenance thread.
+  double ingest_docs_per_sec = 0;
+  uint64_t final_segments = 0, final_compactions = 0;
+  uint64_t churn_errors = 0, churn_ops = 0;
+  double churn_mean_ms = 0, churn_p50_ms = 0, churn_p99_ms = 0;
+  double churn_ingest_docs_per_sec = 0;
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(dir + "_live", ec);
+    std::filesystem::create_directories(dir + "_live");
+    auto db = tix::storage::Database::Create(dir + "_live");
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    tix::index::SegmentedIndexOptions seg_options;
+    seg_options.seal_doc_count = smoke ? 32 : 128;
+    auto segmented =
+        tix::index::SegmentedIndex::Open(dir + "_live", seg_options);
+    if (!segmented.ok()) {
+      std::fprintf(stderr, "%s\n", segmented.status().ToString().c_str());
+      return 1;
+    }
+    tix::server::ServerOptions options;
+    options.session_threads = static_cast<size_t>(churn_readers) + 2;
+    options.max_inflight = static_cast<size_t>(churn_readers) + 2;
+    tix::server::TixServer server(db.value().get(), segmented.value().get(),
+                                  options);
+    if (const tix::Status started = server.Start(); !started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+
+    // Phase 1: bulk ingest the first half, timed.
+    const uint64_t bulk = num_docs / 2;
+    auto writer = tix::server::Client::Connect("127.0.0.1", server.port());
+    if (!writer.ok()) return 1;
+    tix::WallTimer bulk_timer;
+    for (uint64_t i = 0; i < bulk; ++i) {
+      auto added = writer.value().Ingest(DocName(i), corpus[i]);
+      if (!added.ok()) {
+        std::fprintf(stderr, "ingest %llu: %s\n",
+                     static_cast<unsigned long long>(i),
+                     added.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double bulk_seconds = bulk_timer.ElapsedSeconds();
+    ingest_docs_per_sec = bulk / bulk_seconds;
+    std::printf("ingest throughput: %llu docs in %.2fs = %.1f docs/s\n",
+                static_cast<unsigned long long>(bulk), bulk_seconds,
+                ingest_docs_per_sec);
+
+    // Phase 2: churn. Readers query pinned snapshots while the writer
+    // ingests the second half, deletes every 5th new doc and issues a
+    // COMPACT every 100 docs. Gate: zero query errors.
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(churn_readers));
+    std::vector<std::thread> readers;
+    for (int t = 0; t < churn_readers; ++t) {
+      readers.emplace_back([&, t] {
+        auto client = tix::server::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        size_t i = static_cast<size_t>(t);
+        while (!stop.load(std::memory_order_acquire)) {
+          tix::WallTimer timer;
+          // Query docs from the bulk half only: they are never deleted,
+          // so every response must succeed against every snapshot.
+          const auto result = client.value().Query(pool[i++ % pool.size()]);
+          if (result.ok()) {
+            latencies[static_cast<size_t>(t)].push_back(
+                timer.ElapsedSeconds());
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    tix::WallTimer churn_timer;
+    for (uint64_t i = bulk; i < num_docs; ++i) {
+      auto added = writer.value().Ingest(DocName(i), corpus[i]);
+      if (!added.ok()) return 1;
+      if (i % 5 == 4) {
+        if (const tix::Status deleted = writer.value().Delete(DocName(i));
+            !deleted.ok()) {
+          return 1;
+        }
+      }
+      if (i % 100 == 99) {
+        if (const tix::Status compacted = writer.value().Compact();
+            !compacted.ok()) {
+          return 1;
+        }
+      }
+    }
+    churn_ingest_docs_per_sec =
+        (num_docs - bulk) / churn_timer.ElapsedSeconds();
+    stop.store(true, std::memory_order_release);
+    for (auto& reader : readers) reader.join();
+
+    std::vector<double> all;
+    for (const auto& reader_latencies : latencies) {
+      all.insert(all.end(), reader_latencies.begin(), reader_latencies.end());
+    }
+    churn_ops = all.size();
+    churn_errors = errors.load();
+    double sum = 0;
+    for (const double v : all) sum += v;
+    churn_mean_ms = all.empty() ? 0 : sum / all.size() * 1000.0;
+    churn_p50_ms = PercentileMs(&all, 0.50);
+    churn_p99_ms = PercentileMs(&all, 0.99);
+    std::printf(
+        "churn: %llu queries while ingesting (%.1f docs/s), "
+        "mean %.2f ms, p50 %.2f ms, p99 %.2f ms, errors %llu\n",
+        static_cast<unsigned long long>(churn_ops),
+        churn_ingest_docs_per_sec, churn_mean_ms, churn_p50_ms, churn_p99_ms,
+        static_cast<unsigned long long>(churn_errors));
+
+    const tix::index::SegmentedIndexStats stats = segmented.value()->Stats();
+    final_segments = stats.num_segments;
+    final_compactions = stats.compactions;
+    server.Stop();
+  }
+
+  // ------------------------------------------------ 3. segment-count sweep
+  // The same corpus sealed into different segment counts; queries run
+  // directly against snapshots (no server, no cache) so the per-segment
+  // merge overhead is the only variable.
+  std::vector<SweepPoint> sweep;
+  {
+    const uint64_t sweep_docs = smoke ? num_docs : num_docs / 2;
+    for (const uint64_t target_segments :
+         {uint64_t{1}, uint64_t{4}, uint64_t{16}}) {
+      const std::string sweep_dir =
+          dir + "_sweep" + std::to_string(target_segments);
+      std::error_code ec;
+      std::filesystem::remove_all(sweep_dir, ec);
+      std::filesystem::create_directories(sweep_dir);
+      auto db = tix::storage::Database::Create(sweep_dir);
+      if (!db.ok()) return 1;
+      tix::index::SegmentedIndexOptions seg_options;
+      seg_options.seal_doc_count =
+          std::max<uint64_t>(1, sweep_docs / target_segments);
+      seg_options.seal_posting_count = ~uint64_t{0};
+      seg_options.compact_min_segments = ~size_t{0};  // no auto-compaction
+      auto segmented =
+          tix::index::SegmentedIndex::Open(sweep_dir, seg_options);
+      if (!segmented.ok()) return 1;
+      for (uint64_t i = 0; i < sweep_docs; ++i) {
+        auto parsed = tix::xml::ParseXml(corpus[i], DocName(i));
+        if (!parsed.ok()) return 1;
+        auto added = db.value()->AddDocument(parsed.value());
+        if (!added.ok()) return 1;
+        if (const tix::Status ingested =
+                segmented.value()->Ingest(db.value().get(), added.value());
+            !ingested.ok()) {
+          std::fprintf(stderr, "%s\n", ingested.ToString().c_str());
+          return 1;
+        }
+      }
+      if (const tix::Status sealed = segmented.value()->Seal(db.value().get());
+          !sealed.ok()) {
+        return 1;
+      }
+      const auto snapshot = segmented.value()->Acquire();
+      tix::query::QueryEngine engine(db.value().get(), snapshot);
+      std::vector<double> latencies;
+      const int rounds = smoke ? 2 : 8;
+      for (int round = 0; round < rounds; ++round) {
+        for (const std::string& query : pool) {
+          tix::WallTimer timer;
+          auto output = engine.ExecuteText(query);
+          if (!output.ok()) {
+            std::fprintf(stderr, "sweep query failed: %s\n",
+                         output.status().ToString().c_str());
+            return 1;
+          }
+          latencies.push_back(timer.ElapsedSeconds());
+        }
+      }
+      SweepPoint point;
+      point.segments = segmented.value()->Stats().num_segments;
+      double sum = 0;
+      for (const double v : latencies) sum += v;
+      point.mean_ms = sum / latencies.size() * 1000.0;
+      point.p99_ms = PercentileMs(&latencies, 0.99);
+      sweep.push_back(point);
+      std::printf("sweep: %llu segments -> mean %.3f ms, p99 %.3f ms\n",
+                  static_cast<unsigned long long>(point.segments),
+                  point.mean_ms, point.p99_ms);
+    }
+  }
+
+  // ---------------------------------------------------------------- gate
+  const bool ok = churn_errors == 0 && churn_ops > 0;
+  std::printf("\nzero-query-error gate: %llu errors over %llu queries -> %s\n",
+              static_cast<unsigned long long>(churn_errors),
+              static_cast<unsigned long long>(churn_ops), ok ? "OK" : "FAIL");
+
+  // ---------------------------------------------------------------- JSON
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"ingest\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"docs\": %llu,\n"
+               "  \"ingest_docs_per_sec\": %.2f,\n"
+               "  \"churn\": {\n"
+               "    \"queries\": %llu,\n"
+               "    \"errors\": %llu,\n"
+               "    \"ingest_docs_per_sec\": %.2f,\n"
+               "    \"mean_ms\": %.4f,\n"
+               "    \"p50_ms\": %.4f,\n"
+               "    \"p99_ms\": %.4f\n"
+               "  },\n"
+               "  \"final_segments\": %llu,\n"
+               "  \"compactions\": %llu,\n"
+               "  \"segment_sweep\": [\n",
+               smoke ? "true" : "false",
+               static_cast<unsigned long long>(num_docs),
+               ingest_docs_per_sec,
+               static_cast<unsigned long long>(churn_ops),
+               static_cast<unsigned long long>(churn_errors),
+               churn_ingest_docs_per_sec, churn_mean_ms, churn_p50_ms,
+               churn_p99_ms, static_cast<unsigned long long>(final_segments),
+               static_cast<unsigned long long>(final_compactions));
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(file,
+                 "    {\"segments\": %llu, \"mean_ms\": %.4f, "
+                 "\"p99_ms\": %.4f}%s\n",
+                 static_cast<unsigned long long>(sweep[i].segments),
+                 sweep[i].mean_ms, sweep[i].p99_ms,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "  ],\n"
+               "  \"zero_query_errors\": %s\n"
+               "}\n",
+               ok ? "true" : "false");
+  std::fclose(file);
+  std::printf("wrote %s\n", out.c_str());
+  return ok ? 0 : 1;
+}

@@ -10,14 +10,17 @@
 # "no crash observed" into "no UB observed". The serving path rides the
 # same bus: thread_pool_test races Submit against Shutdown, and
 # server_test runs concurrent TCP sessions through the shared result
-# cache, admission control and graceful stop.
+# cache, admission control and graceful stop. segment_test is the live
+# index under churn: queries pinning snapshots while ingestion, sealing
+# and background compaction publish new generations, plus the
+# ingest/compact equivalence fuzz and the manifest corruption sweep.
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test thread_pool_test server_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|thread_pool_test|server_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test thread_pool_test server_test segment_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|thread_pool_test|server_test|segment_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

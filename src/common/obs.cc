@@ -147,6 +147,8 @@ const char* CounterName(Counter counter) {
       return "result_cache_hits";
     case Counter::kResultCacheMisses:
       return "result_cache_misses";
+    case Counter::kResultCacheGenEvictions:
+      return "result_cache_gen_evictions";
   }
   return "unknown";
 }

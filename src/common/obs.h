@@ -54,9 +54,13 @@ enum class Counter : int {
   /// session's context, so server totals roll up through the same tree).
   kResultCacheHits = 11,
   kResultCacheMisses = 12,
+  /// Entries dropped because their stamped index generation no longer
+  /// matches the live one (stale results from before an ingest, delete
+  /// or compaction). Counted as misses too.
+  kResultCacheGenEvictions = 13,
 };
 
-inline constexpr int kNumCounters = 13;
+inline constexpr int kNumCounters = 14;
 
 /// Stable snake_case name used in EXPLAIN output and the JSON schema.
 const char* CounterName(Counter counter);

@@ -1,0 +1,112 @@
+#include "exec/segment_merge.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/threshold_operator.h"
+
+namespace tix::exec {
+
+SegmentedTermJoin::SegmentedTermJoin(storage::Database* db,
+                                     const index::IndexSnapshot* snapshot,
+                                     const algebra::IrPredicate* predicate,
+                                     const algebra::Scorer* scorer,
+                                     ParallelTermJoinOptions options)
+    : db_(db),
+      snapshot_(snapshot),
+      predicate_(predicate),
+      scorer_(scorer),
+      options_(std::move(options)) {}
+
+Result<std::vector<ScoredElement>> SegmentedTermJoin::Run() {
+  stats_ = TermJoinStats();
+  partitions_.clear();
+  partition_stats_.clear();
+
+  const DocRange query_range = options_.join.range;
+  const bool pushdown =
+      TermJoinCanPushThreshold(options_.join, *scorer_) &&
+      options_.join.threshold.has_value();
+  // One floor for all segments (unless the caller already shares one):
+  // any segment's local heap floor excludes the same elements globally.
+  TopKFloor local_floor;
+  TopKFloor* const floor = options_.join.shared_floor != nullptr
+                               ? options_.join.shared_floor
+                               : &local_floor;
+  bool any_unpushed = false;
+
+  std::vector<ScoredElement> merged;
+  for (size_t i = 0; i < snapshot_->num_segments(); ++i) {
+    const index::Segment& segment = snapshot_->segment(i);
+    const index::SegmentInfo& info = segment.info();
+    DocRange range;
+    range.begin = std::max(query_range.begin, info.min_doc);
+    range.end = std::min(query_range.end,
+                         static_cast<storage::DocId>(info.max_doc) + 1);
+    if (range.begin >= range.end) continue;
+
+    const bool has_tombstones =
+        snapshot_->DeletedInRange(range.begin, range.end) > 0;
+    ParallelTermJoinOptions sub = options_;
+    sub.join.range = range;
+    if (pushdown) {
+      if (has_tombstones) {
+        // Deleted docs would occupy heap slots and could push the
+        // shared floor past live elements: materialize this segment
+        // fully, filter below, and let the final reduction re-limit.
+        sub.join.threshold.reset();
+        sub.join.shared_floor = nullptr;
+        any_unpushed = true;
+      } else {
+        sub.join.shared_floor = floor;
+      }
+    }
+
+    ParallelTermJoin join(db_, &segment.index(), predicate_, scorer_, sub);
+    TIX_ASSIGN_OR_RETURN(std::vector<ScoredElement> elements, join.Run());
+
+    if (has_tombstones) {
+      elements.erase(std::remove_if(elements.begin(), elements.end(),
+                                    [this](const ScoredElement& element) {
+                                      return snapshot_->IsDeleted(element.doc);
+                                    }),
+                     elements.end());
+    }
+    merged.insert(merged.end(), std::make_move_iterator(elements.begin()),
+                  std::make_move_iterator(elements.end()));
+
+    const TermJoinStats& part = join.stats();
+    stats_.occurrences += part.occurrences;
+    stats_.stack_pushes += part.stack_pushes;
+    stats_.outputs += part.outputs;
+    stats_.max_stack_depth =
+        std::max(stats_.max_stack_depth, part.max_stack_depth);
+    stats_.record_fetches += part.record_fetches;
+    stats_.index_lookups += part.index_lookups;
+    stats_.docs_pruned += part.docs_pruned;
+    stats_.blocks_skipped += part.blocks_skipped;
+    stats_.postings_pruned += part.postings_pruned;
+    stats_.floor_updates += part.floor_updates;
+    stats_.blocks_decoded += part.blocks_decoded;
+    stats_.block_cache_hits += part.block_cache_hits;
+    partitions_.insert(partitions_.end(), join.partitions().begin(),
+                       join.partitions().end());
+    partition_stats_.insert(partition_stats_.end(),
+                            join.partition_stats().begin(),
+                            join.partition_stats().end());
+  }
+
+  if (pushdown && (snapshot_->num_segments() > 1 || any_unpushed)) {
+    // Reduce the per-segment partial top-Ks (and any materialized
+    // segment's full live output) to the exact global top-K, exactly as
+    // ParallelTermJoin reduces its partitions.
+    ThresholdOperator merge_op(*options_.join.threshold);
+    for (ScoredElement& element : merged) {
+      merge_op.Push(std::move(element));
+    }
+    merged = merge_op.Finish();
+  }
+  return merged;
+}
+
+}  // namespace tix::exec

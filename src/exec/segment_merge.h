@@ -1,0 +1,70 @@
+#ifndef TIX_EXEC_SEGMENT_MERGE_H_
+#define TIX_EXEC_SEGMENT_MERGE_H_
+
+#include <vector>
+
+#include "algebra/scoring.h"
+#include "common/result.h"
+#include "exec/parallel_term_join.h"
+#include "exec/term_join.h"
+#include "index/segmented_index.h"
+
+/// \file
+/// TermJoin over a segmented-index snapshot. Segments cover disjoint,
+/// ascending doc-id slices, so the snapshot's posting stream is the
+/// concatenation of the per-segment streams — the same invariant
+/// doc-partitioned ParallelTermJoin already exploits *within* one index.
+/// SegmentedTermJoin therefore runs one (possibly parallel) TermJoin per
+/// intersecting segment, completely unmodified, and concatenates the
+/// outputs, filtering tombstoned docs as they stream out.
+///
+/// Top-K pushdown composes across segments the same way it composes
+/// across partitions: every segment's local heap floor is globally valid
+/// (k elements at or above it already exist), so segments share one
+/// TopKFloor and the partial top-Ks are reduced through a final
+/// ThresholdOperator. The one wrinkle is tombstones: a segment that
+/// still physically holds deleted docs must not let them occupy heap
+/// slots (or raise the shared floor past live elements), so such
+/// segments run un-pushed and are filtered before the final reduction —
+/// rare by construction, since compaction drops tombstoned docs.
+
+namespace tix::exec {
+
+class SegmentedTermJoin {
+ public:
+  /// Same contract as ParallelTermJoin; `snapshot` must also outlive the
+  /// join (callers pin it for the whole query).
+  SegmentedTermJoin(storage::Database* db,
+                    const index::IndexSnapshot* snapshot,
+                    const algebra::IrPredicate* predicate,
+                    const algebra::Scorer* scorer,
+                    ParallelTermJoinOptions options = {});
+
+  /// Byte-identical to ParallelTermJoin::Run() over a bulk-built index
+  /// of the snapshot's live documents: concatenated doc-order output, or
+  /// the exact top-K in descending score order in pushdown mode.
+  Result<std::vector<ScoredElement>> Run();
+
+  /// Aggregated statistics (sums over segments, max of stack depths) —
+  /// same shape as ParallelTermJoin so EXPLAIN attaches unchanged.
+  const TermJoinStats& stats() const { return stats_; }
+  /// Concatenated partition plans of the per-segment joins.
+  const std::vector<DocRange>& partitions() const { return partitions_; }
+  const std::vector<TermJoinStats>& partition_stats() const {
+    return partition_stats_;
+  }
+
+ private:
+  storage::Database* db_;
+  const index::IndexSnapshot* snapshot_;
+  const algebra::IrPredicate* predicate_;
+  const algebra::Scorer* scorer_;
+  ParallelTermJoinOptions options_;
+  std::vector<DocRange> partitions_;
+  std::vector<TermJoinStats> partition_stats_;
+  TermJoinStats stats_;
+};
+
+}  // namespace tix::exec
+
+#endif  // TIX_EXEC_SEGMENT_MERGE_H_

@@ -394,8 +394,22 @@ Status PostingList::DebugCheckSorted() const {
 
 Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
                                            bool compress) {
+  return BuildForDocRange(
+      db, 0, static_cast<storage::DocId>(db->documents().size()), compress);
+}
+
+Result<InvertedIndex> InvertedIndex::BuildForDocRange(storage::Database* db,
+                                                      storage::DocId doc_begin,
+                                                      storage::DocId doc_end,
+                                                      bool compress) {
+  const auto& documents = db->documents();
+  if (doc_begin > doc_end || doc_end > documents.size()) {
+    return Status::InvalidArgument("BuildForDocRange: bad doc range");
+  }
   InvertedIndex out;
   out.tokenizer_options_ = db->tokenizer().options();
+  out.stats_.num_documents = doc_end - doc_begin;
+  if (doc_begin == doc_end) return out;
   const text::Tokenizer& tokenizer = db->tokenizer();
 
   // Track last (doc, node) seen per term to maintain frequencies without
@@ -404,8 +418,13 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
   std::vector<storage::NodeId> last_node_of_term;
   std::vector<storage::DocId> last_doc_of_term;
 
-  const uint64_t n = db->num_nodes();
-  for (storage::NodeId id = 0; id < n; ++id) {
+  // Documents occupy contiguous, ascending node-id ranges in ingestion
+  // order, so a doc range is one contiguous node scan.
+  const storage::NodeId node_begin = documents[doc_begin].root;
+  const storage::NodeId node_end =
+      documents[doc_end - 1].root +
+      static_cast<storage::NodeId>(documents[doc_end - 1].node_count);
+  for (storage::NodeId id = node_begin; id < node_end; ++id) {
     TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record, db->GetNode(id));
     if (!record.is_text() || record.blob_length == 0) continue;
     ++out.stats_.num_text_nodes;
@@ -432,7 +451,6 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
     }
   }
   out.stats_.num_terms = out.lists_.size();
-  out.stats_.num_documents = db->documents().size();
   for (PostingList& list : out.lists_) {
     TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
     if (compress) {
@@ -442,6 +460,46 @@ Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
     }
   }
   db->node_store().ResetCounters();
+  return out;
+}
+
+Result<InvertedIndex> InvertedIndex::FromPostings(
+    text::TokenizerOptions tokenizer_options,
+    std::vector<std::pair<std::string, PostingList>> lists,
+    uint64_t num_documents, uint64_t num_text_nodes) {
+  InvertedIndex out;
+  out.tokenizer_options_ = tokenizer_options;
+  out.stats_.num_documents = num_documents;
+  out.stats_.num_text_nodes = num_text_nodes;
+  for (auto& [term, list] : lists) {
+    const text::TermId id = out.dictionary_.Intern(term);
+    if (id >= out.lists_.size()) out.lists_.resize(id + 1);
+    PostingList& dst = out.lists_[id];
+    if (!dst.postings.empty()) {
+      return Status::InvalidArgument("FromPostings: duplicate term " + term);
+    }
+    dst.postings = std::move(list.postings);
+    // Recompute collection statistics from scratch: the caller merged
+    // and filtered postings, so any carried-over frequencies are stale.
+    dst.doc_frequency = 0;
+    dst.node_frequency = 0;
+    storage::DocId last_doc = UINT32_MAX;
+    storage::NodeId last_node = storage::kInvalidNodeId;
+    for (const Posting& posting : dst.postings) {
+      if (posting.doc_id != last_doc) {
+        last_doc = posting.doc_id;
+        ++dst.doc_frequency;
+      }
+      if (posting.node_id != last_node) {
+        last_node = posting.node_id;
+        ++dst.node_frequency;
+      }
+      ++out.stats_.num_postings;
+    }
+    TIX_RETURN_IF_ERROR(dst.DebugCheckSorted());
+    dst.Compress();
+  }
+  out.stats_.num_terms = out.lists_.size();
   return out;
 }
 

@@ -313,6 +313,28 @@ class InvertedIndex {
   static Result<InvertedIndex> Build(storage::Database* db,
                                      bool compress = true);
 
+  /// Builds an index covering only documents [doc_begin, doc_end).
+  /// Documents are appended to the node store in doc-id order, so the
+  /// range maps to one contiguous node scan. This is how the segmented
+  /// index seals its write buffer: each sealed segment is a full
+  /// InvertedIndex over a disjoint slice of the doc-id space.
+  /// stats().num_documents counts the documents in the range (including
+  /// ones with no indexable text).
+  static Result<InvertedIndex> BuildForDocRange(storage::Database* db,
+                                                storage::DocId doc_begin,
+                                                storage::DocId doc_end,
+                                                bool compress = true);
+
+  /// Assembles an index from externally merged posting lists (segment
+  /// compaction). Each entry is (term, decoded PostingList); postings
+  /// must be strictly ascending by (doc, word_pos). Doc/node frequencies
+  /// are recomputed here, every list is validated and block-compressed,
+  /// and `num_documents` / `num_text_nodes` become the index statistics.
+  static Result<InvertedIndex> FromPostings(
+      text::TokenizerOptions tokenizer_options,
+      std::vector<std::pair<std::string, PostingList>> lists,
+      uint64_t num_documents, uint64_t num_text_nodes);
+
   /// Postings for a term (already normalized by the caller or not — the
   /// lookup normalizes with the same tokenizer options used at build).
   /// nullptr when the term does not occur.
@@ -328,6 +350,9 @@ class InvertedIndex {
 
   const text::TermDictionary& dictionary() const { return dictionary_; }
   const IndexStats& stats() const { return stats_; }
+  const text::TokenizerOptions& tokenizer_options() const {
+    return tokenizer_options_;
+  }
 
   /// Terms whose total occurrence count lies in [lo, hi], sorted by
   /// count. Used by the experiment harnesses to select query terms of a

@@ -1,0 +1,200 @@
+#include "index/manifest.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "storage/file_manager.h"
+
+namespace tix::index {
+
+namespace {
+// "TIXMANI1" as a varint-friendly constant.
+constexpr uint64_t kManifestMagic = 0x5449584d414e4931ULL;
+constexpr char kManifestFile[] = "manifest.tix";
+}  // namespace
+
+Status Manifest::Validate() const {
+  storage::DocId prev_end = 0;
+  bool first = true;
+  for (const SegmentInfo& info : segments) {
+    if (info.file.empty()) {
+      return Status::Corruption("manifest: segment " + std::to_string(info.id) +
+                                " has no file name");
+    }
+    if (info.max_doc < info.min_doc) {
+      return Status::Corruption("manifest: segment " + std::to_string(info.id) +
+                                " has an inverted doc range");
+    }
+    if (!first && info.min_doc <= prev_end) {
+      return Status::Corruption(
+          "manifest: segment doc ranges out of order or overlapping at "
+          "segment " +
+          std::to_string(info.id));
+    }
+    if (info.num_docs > static_cast<uint64_t>(info.max_doc) - info.min_doc + 1) {
+      return Status::Corruption("manifest: segment " + std::to_string(info.id) +
+                                " claims more docs than its range holds");
+    }
+    if (info.id >= next_segment_id) {
+      return Status::Corruption("manifest: segment id " +
+                                std::to_string(info.id) +
+                                " at or beyond next_segment_id");
+    }
+    if (info.max_doc >= next_doc) {
+      return Status::Corruption("manifest: segment " + std::to_string(info.id) +
+                                " extends beyond next_doc");
+    }
+    prev_end = info.max_doc;
+    first = false;
+  }
+  auto check_sorted = [](const std::vector<storage::DocId>& docs,
+                         const char* what) -> Status {
+    storage::DocId prev = 0;
+    bool first = true;
+    for (const storage::DocId doc : docs) {
+      if (!first && doc <= prev) {
+        return Status::Corruption(std::string("manifest: ") + what +
+                                  " not strictly ascending");
+      }
+      prev = doc;
+      first = false;
+    }
+    return Status::OK();
+  };
+  TIX_RETURN_IF_ERROR(check_sorted(tombstones, "tombstones"));
+  TIX_RETURN_IF_ERROR(check_sorted(deleted, "deleted docs"));
+  for (const storage::DocId doc : tombstones) {
+    if (!std::binary_search(deleted.begin(), deleted.end(), doc)) {
+      return Status::Corruption(
+          "manifest: tombstone " + std::to_string(doc) +
+          " missing from the all-time deleted set");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Manifest::Encode() const {
+  std::string blob;
+  PutVarint64(&blob, kManifestMagic);
+  PutVarint64(&blob, generation);
+  PutVarint64(&blob, next_segment_id);
+  PutVarint32(&blob, next_doc);
+  PutVarint64(&blob, segments.size());
+  for (const SegmentInfo& info : segments) {
+    PutVarint64(&blob, info.id);
+    PutVarint64(&blob, info.file.size());
+    blob.append(info.file);
+    PutVarint32(&blob, info.min_doc);
+    PutVarint32(&blob, info.max_doc);
+    PutVarint64(&blob, info.num_docs);
+    PutVarint64(&blob, info.num_postings);
+  }
+  const auto put_docs = [&blob](const std::vector<storage::DocId>& docs) {
+    PutVarint64(&blob, docs.size());
+    storage::DocId prev = 0;
+    for (const storage::DocId doc : docs) {
+      PutVarint32(&blob, doc - prev);  // delta; strictly ascending
+      prev = doc;
+    }
+  };
+  put_docs(tombstones);
+  put_docs(deleted);
+  const uint32_t crc = Crc32(blob.data(), blob.size());
+  PutVarint32(&blob, crc);
+  return blob;
+}
+
+Result<Manifest> Manifest::Decode(std::string_view blob) {
+  // Split off and verify the CRC trailer first: a torn or bit-flipped
+  // manifest must fail loudly, not parse into garbage.
+  if (blob.size() < 2) return Status::Corruption("manifest: truncated");
+  size_t crc_offset = blob.size();
+  // The trailer is one varint32; scan back over its continuation bytes.
+  do {
+    --crc_offset;
+  } while (crc_offset > 0 &&
+           (static_cast<uint8_t>(blob[crc_offset - 1]) & 0x80) != 0);
+  std::string_view trailer = blob.substr(crc_offset);
+  TIX_ASSIGN_OR_RETURN(const uint32_t stored_crc, GetVarint32(&trailer));
+  if (!trailer.empty()) return Status::Corruption("manifest: trailing bytes");
+  const uint32_t actual_crc = Crc32(blob.data(), crc_offset);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("manifest: checksum mismatch");
+  }
+
+  std::string_view input = blob.substr(0, crc_offset);
+  Manifest out;
+  TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&input));
+  if (magic != kManifestMagic) {
+    return Status::Corruption("manifest: bad magic");
+  }
+  TIX_ASSIGN_OR_RETURN(out.generation, GetVarint64(&input));
+  TIX_ASSIGN_OR_RETURN(out.next_segment_id, GetVarint64(&input));
+  TIX_ASSIGN_OR_RETURN(out.next_doc, GetVarint32(&input));
+  TIX_ASSIGN_OR_RETURN(const uint64_t num_segments, GetVarint64(&input));
+  out.segments.reserve(num_segments);
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    SegmentInfo info;
+    TIX_ASSIGN_OR_RETURN(info.id, GetVarint64(&input));
+    TIX_ASSIGN_OR_RETURN(const uint64_t name_len, GetVarint64(&input));
+    if (name_len > input.size()) {
+      return Status::Corruption("manifest: truncated segment name");
+    }
+    info.file.assign(input.substr(0, name_len));
+    input.remove_prefix(name_len);
+    TIX_ASSIGN_OR_RETURN(info.min_doc, GetVarint32(&input));
+    TIX_ASSIGN_OR_RETURN(info.max_doc, GetVarint32(&input));
+    TIX_ASSIGN_OR_RETURN(info.num_docs, GetVarint64(&input));
+    TIX_ASSIGN_OR_RETURN(info.num_postings, GetVarint64(&input));
+    out.segments.push_back(std::move(info));
+  }
+  const auto get_docs =
+      [&input](std::vector<storage::DocId>* docs) -> Status {
+    TIX_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&input));
+    docs->reserve(count);
+    storage::DocId prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      TIX_ASSIGN_OR_RETURN(const uint32_t delta, GetVarint32(&input));
+      prev += delta;
+      docs->push_back(prev);
+    }
+    return Status::OK();
+  };
+  TIX_RETURN_IF_ERROR(get_docs(&out.tombstones));
+  TIX_RETURN_IF_ERROR(get_docs(&out.deleted));
+  if (!input.empty()) {
+    return Status::Corruption("manifest: trailing bytes before checksum");
+  }
+  TIX_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestFile;
+}
+
+Status SaveManifest(const Manifest& manifest, const std::string& dir) {
+  TIX_RETURN_IF_ERROR(manifest.Validate());
+  return storage::AtomicWriteFile(ManifestPath(dir), manifest.Encode());
+}
+
+Result<Manifest> LoadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no manifest at " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read " + path + ": " + std::strerror(errno));
+  }
+  return Manifest::Decode(buffer.str());
+}
+
+}  // namespace tix::index

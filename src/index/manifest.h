@@ -1,0 +1,67 @@
+#ifndef TIX_INDEX_MANIFEST_H_
+#define TIX_INDEX_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/segment.h"
+#include "storage/database.h"
+
+/// \file
+/// The segmented index's manifest: the authoritative, durable list of
+/// sealed segments plus the doc-id tombstone set. Persisted as one small
+/// CRC-trailed varint blob on the same write-then-rename path as every
+/// other on-disk structure, so readers see either the old manifest or
+/// the new one, never a torn mix.
+///
+/// Durability contract: segment files are written *before* the manifest
+/// that references them. A crash between the two leaves an orphan
+/// segment file (harmless, reclaimed by the next successful compaction
+/// cycle) and a consistent old manifest.
+
+namespace tix::index {
+
+struct Manifest {
+  /// Bumped on every published change (seal, delete, compact). The
+  /// server's result cache stamps entries with this, so stale hits
+  /// after an ingest become misses.
+  uint64_t generation = 0;
+  /// Next segment id to allocate; never decreases.
+  uint64_t next_segment_id = 0;
+  /// High-water mark of accounted documents: every doc id < next_doc is
+  /// either in a segment or deleted-forever. Docs at or beyond it are
+  /// not yet sealed (write buffer, rebuilt from the database on open).
+  storage::DocId next_doc = 0;
+  /// Ascending by min_doc, ranges disjoint.
+  std::vector<SegmentInfo> segments;
+  /// Sorted ascending; each entry is a deleted doc id not yet compacted
+  /// away. Queries filter these; compaction applies and drops them.
+  std::vector<storage::DocId> tombstones;
+  /// Every doc id ever deleted, sorted ascending (tombstones is a
+  /// subset). Postings of compacted-away docs are gone from every
+  /// segment, but the database still stores the documents themselves, so
+  /// name resolution needs this set to keep answering NotFound for them.
+  std::vector<storage::DocId> deleted;
+
+  /// Structural invariants (ordering, disjointness, sorted tombstones).
+  Status Validate() const;
+
+  std::string Encode() const;
+  static Result<Manifest> Decode(std::string_view blob);
+};
+
+/// Manifest path inside an index directory.
+std::string ManifestPath(const std::string& dir);
+
+/// Durably writes the manifest (AtomicWriteFile).
+Status SaveManifest(const Manifest& manifest, const std::string& dir);
+
+/// Loads and validates `dir`'s manifest. NotFound when none exists.
+Result<Manifest> LoadManifest(const std::string& dir);
+
+}  // namespace tix::index
+
+#endif  // TIX_INDEX_MANIFEST_H_

@@ -1,0 +1,29 @@
+#include "index/segment.h"
+
+#include <utility>
+
+namespace tix::index {
+
+std::string SegmentFileName(uint64_t id) {
+  return "segment-" + std::to_string(id) + ".tix";
+}
+
+Result<std::shared_ptr<const Segment>> Segment::Load(const std::string& path,
+                                                     const SegmentInfo& info,
+                                                     IndexLoadOptions options) {
+  TIX_ASSIGN_OR_RETURN(InvertedIndex index,
+                       InvertedIndex::LoadFromFile(path, options));
+  const IndexStats& stats = index.stats();
+  if (stats.num_postings != info.num_postings ||
+      stats.num_documents != info.num_docs) {
+    return Status::Corruption(
+        "segment " + path + " does not match its manifest entry (postings " +
+        std::to_string(stats.num_postings) + " vs " +
+        std::to_string(info.num_postings) + ", docs " +
+        std::to_string(stats.num_documents) + " vs " +
+        std::to_string(info.num_docs) + ")");
+  }
+  return std::make_shared<const Segment>(info, std::move(index));
+}
+
+}  // namespace tix::index

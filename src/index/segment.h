@@ -1,0 +1,79 @@
+#ifndef TIX_INDEX_SEGMENT_H_
+#define TIX_INDEX_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "storage/database.h"
+
+/// \file
+/// One immutable segment of the segmented (LSM-style) index: a full
+/// InvertedIndex over a contiguous, disjoint slice of the doc-id space.
+/// Doc ids are assigned monotonically and never reused, so the posting
+/// stream of the whole collection is the concatenation of the segments'
+/// streams in segment order — the invariant that lets TermJoin,
+/// PhraseFinder and top-K pushdown run unmodified per segment.
+///
+/// A sealed segment's on-disk file is exactly the v3 block format of
+/// InvertedIndex::SaveToFile, written on the CRC'd write-then-rename
+/// path; nothing new to scrub beyond what `tix_cli verify` already
+/// understands for a monolithic index.
+
+namespace tix::index {
+
+/// Manifest entry describing one segment.
+struct SegmentInfo {
+  /// Monotonically increasing id; never reused (also names the file,
+  /// except for a legacy `index.tix` adopted as the first segment).
+  uint64_t id = 0;
+  /// On-disk file name relative to the index directory.
+  std::string file;
+  /// Covered doc-id range, inclusive on both ends. Ranges of distinct
+  /// segments are disjoint and the manifest keeps them ascending.
+  storage::DocId min_doc = 0;
+  storage::DocId max_doc = 0;
+  /// Documents currently represented. Equals max_doc - min_doc + 1 at
+  /// seal time; smaller after a compaction dropped tombstoned docs.
+  uint64_t num_docs = 0;
+  uint64_t num_postings = 0;
+
+  friend bool operator==(const SegmentInfo&, const SegmentInfo&) = default;
+};
+
+/// Canonical file name for segment `id`.
+std::string SegmentFileName(uint64_t id);
+
+/// A loaded, immutable segment. Snapshots hold segments by shared_ptr,
+/// so a reader's pinned segment outlives any manifest swap (compaction
+/// never mutates a built structure — it builds a replacement and
+/// publishes it).
+class Segment {
+ public:
+  Segment(SegmentInfo info, InvertedIndex index)
+      : info_(std::move(info)), index_(std::move(index)) {}
+
+  const SegmentInfo& info() const { return info_; }
+  const InvertedIndex& index() const { return index_; }
+
+  bool Contains(storage::DocId doc) const {
+    return doc >= info_.min_doc && doc <= info_.max_doc;
+  }
+
+  /// Loads `path` and cross-checks the index against `info` (posting and
+  /// document counts), so a manifest/segment mismatch surfaces as
+  /// Corruption instead of silently wrong answers.
+  static Result<std::shared_ptr<const Segment>> Load(
+      const std::string& path, const SegmentInfo& info,
+      IndexLoadOptions options = {});
+
+ private:
+  SegmentInfo info_;
+  InvertedIndex index_;
+};
+
+}  // namespace tix::index
+
+#endif  // TIX_INDEX_SEGMENT_H_

@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "exec/parallel_term_join.h"
 #include "exec/pick_operator.h"
+#include "exec/segment_merge.h"
 #include "exec/structural_join.h"
 #include "exec/term_join.h"
 #include "exec/threshold_operator.h"
@@ -99,10 +100,11 @@ Result<std::vector<exec::ScoredElement>> ToElements(
   return out;
 }
 
-/// Copies a ParallelTermJoin's merged and per-partition statistics onto
-/// its EXPLAIN span (no-op when the span is disabled).
-void AttachTermJoinStats(obs::OperatorSpan* span,
-                         const exec::ParallelTermJoin& join) {
+/// Copies a join's merged and per-partition statistics onto its EXPLAIN
+/// span (no-op when the span is disabled). Works for any join exposing
+/// the ParallelTermJoin interface — SegmentedTermJoin mirrors it.
+template <typename Join>
+void AttachTermJoinStats(obs::OperatorSpan* span, const Join& join) {
   obs::OperatorMetrics* node = span->mutable_node();
   if (node == nullptr) return;
   const exec::TermJoinStats& stats = join.stats();
@@ -167,6 +169,43 @@ Status QueryEngine::CheckDeadline(const char* stage) const {
   return Status::OK();
 }
 
+double QueryEngine::TermIdf(std::string_view term) const {
+  return snapshot_ != nullptr ? snapshot_->InverseDocumentFrequency(term)
+                              : index_->InverseDocumentFrequency(term);
+}
+
+Result<storage::DocumentInfo> QueryEngine::ResolveDocument(
+    const std::string& name) const {
+  if (snapshot_ == nullptr) return db_->GetDocumentByName(name);
+  for (const storage::DocumentInfo& info : db_->documents()) {
+    if (info.name == name && snapshot_->IsLiveDocument(info.doc_id)) {
+      return info;
+    }
+  }
+  return Status::NotFound("no document named '" + name + "'");
+}
+
+Result<std::vector<exec::ScoredElement>> QueryEngine::RunScoringJoin(
+    const algebra::IrPredicate& predicate, const algebra::Scorer& scorer,
+    const exec::ParallelTermJoinOptions& join_options,
+    obs::OperatorSpan* span) {
+  std::vector<exec::ScoredElement> scored;
+  if (snapshot_ != nullptr) {
+    exec::SegmentedTermJoin join(db_, snapshot_.get(), &predicate, &scorer,
+                                 join_options);
+    TIX_ASSIGN_OR_RETURN(scored, join.Run());
+    span->set_rows(scored.size());
+    AttachTermJoinStats(span, join);
+  } else {
+    exec::ParallelTermJoin join(db_, index_, &predicate, &scorer,
+                                join_options);
+    TIX_ASSIGN_OR_RETURN(scored, join.Run());
+    span->set_rows(scored.size());
+    AttachTermJoinStats(span, join);
+  }
+  return scored;
+}
+
 Result<std::unique_ptr<algebra::Scorer>> QueryEngine::MakeScorerForClause(
     const ScoreClause& clause, const algebra::IrPredicate& predicate) const {
   auto phrase_idf = [&] {
@@ -174,7 +213,7 @@ Result<std::unique_ptr<algebra::Scorer>> QueryEngine::MakeScorerForClause(
     for (const algebra::WeightedPhrase& phrase : predicate.phrases) {
       double value = 0.0;
       for (const std::string& term : phrase.terms) {
-        value = std::max(value, index_->InverseDocumentFrequency(term));
+        value = std::max(value, TermIdf(term));
       }
       idf.push_back(value);
     }
@@ -243,7 +282,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
   QueryOutput output;
   TIX_RETURN_IF_ERROR(CheckDeadline("start"));
   TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
-                       db_->GetDocumentByName(query.path.document));
+                       ResolveDocument(query.path.document));
 
   const std::vector<PathStep>& steps = query.path.steps;
   const PathStep& target_step = steps.back();
@@ -340,11 +379,8 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
         join_options.join.range =
             exec::DocRange{doc.doc_id, doc.doc_id + 1};
       }
-      exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
-                                  join_options);
-      TIX_ASSIGN_OR_RETURN(all_scored, join.Run());
-      span.set_rows(all_scored.size());
-      AttachTermJoinStats(&span, join);
+      TIX_ASSIGN_OR_RETURN(
+          all_scored, RunScoringJoin(predicate, *scorer, join_options, &span));
     }
     std::sort(all_scored.begin(), all_scored.end(), exec::DocumentOrderLess);
     TIX_RETURN_IF_ERROR(CheckDeadline("Scope"));
@@ -513,7 +549,7 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
   auto bindings = [&](const PathExpr& path)
       -> Result<std::vector<storage::NodeId>> {
     TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
-                         db_->GetDocumentByName(path.document));
+                         ResolveDocument(path.document));
     std::vector<int> step_labels;
     TIX_ASSIGN_OR_RETURN(
         const algebra::ScoredPatternTree pattern,
@@ -596,13 +632,10 @@ Result<QueryOutput> QueryEngine::ExecuteJoin(const Query& query,
     term_join_options.join.enhanced = options_.enhanced_term_join;
     term_join_options.join.deadline = &options_.deadline;
     term_join_options.num_threads = options_.num_threads;
-    exec::ParallelTermJoin join(db_, index_, &predicate, scorer.get(),
-                                term_join_options);
-    TIX_ASSIGN_OR_RETURN(const std::vector<exec::ScoredElement> scored,
-                         join.Run());
+    TIX_ASSIGN_OR_RETURN(
+        const std::vector<exec::ScoredElement> scored,
+        RunScoringJoin(predicate, *scorer, term_join_options, &span));
     output.stats.scored_elements = scored.size();
-    span.set_rows(scored.size());
-    AttachTermJoinStats(&span, join);
     for (const storage::NodeId anchor : left_anchors) {
       TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
                            db_->GetNode(anchor));

@@ -10,8 +10,10 @@
 #include "common/deadline.h"
 #include "common/obs.h"
 #include "common/result.h"
+#include "exec/parallel_term_join.h"
 #include "index/block_cache.h"
 #include "index/inverted_index.h"
+#include "index/segmented_index.h"
 #include "query/ast.h"
 #include "storage/database.h"
 
@@ -102,6 +104,23 @@ class QueryEngine {
     index::DecodedBlockCache::Instance().Configure(options_.block_cache_bytes);
   }
 
+  /// Snapshot mode: executes against a pinned segmented-index snapshot.
+  /// The engine holds the shared_ptr, so the snapshot (and every segment
+  /// it references) outlives the query even while ingestion and
+  /// compaction publish newer generations. Score generation runs one
+  /// TermJoin per segment (exec::SegmentedTermJoin), IDF is computed
+  /// over the snapshot's live documents, and document names resolve to
+  /// live documents only.
+  QueryEngine(storage::Database* db,
+              std::shared_ptr<const index::IndexSnapshot> snapshot,
+              EngineOptions options = {})
+      : db_(db),
+        index_(nullptr),
+        snapshot_(std::move(snapshot)),
+        options_(options) {
+    index::DecodedBlockCache::Instance().Configure(options_.block_cache_bytes);
+  }
+
   /// Parses and executes.
   Result<QueryOutput> ExecuteText(std::string_view text);
 
@@ -121,6 +140,20 @@ class QueryEngine {
                                   obs::OperatorMetrics* plan);
   Result<std::unique_ptr<algebra::Scorer>> MakeScorerForClause(
       const ScoreClause& clause, const algebra::IrPredicate& predicate) const;
+  /// IDF from the snapshot's live documents (snapshot mode) or the
+  /// monolithic index.
+  double TermIdf(std::string_view term) const;
+  /// Document-name lookup. In snapshot mode only live documents resolve
+  /// (first live match in doc order, matching the monolithic engine's
+  /// first-match rule over a database of the same live docs); deleted or
+  /// not-yet-ingested documents are NotFound.
+  Result<storage::DocumentInfo> ResolveDocument(const std::string& name) const;
+  /// Runs the scoring join — ParallelTermJoin, or SegmentedTermJoin in
+  /// snapshot mode — and attaches its statistics to `span`.
+  Result<std::vector<exec::ScoredElement>> RunScoringJoin(
+      const algebra::IrPredicate& predicate, const algebra::Scorer& scorer,
+      const exec::ParallelTermJoinOptions& join_options,
+      obs::OperatorSpan* span);
   /// DeadlineExceeded naming `stage` once options_.deadline has passed;
   /// OK otherwise. Called between pipeline stages (TermJoin additionally
   /// polls mid-merge).
@@ -128,6 +161,7 @@ class QueryEngine {
 
   storage::Database* db_;
   const index::InvertedIndex* index_;
+  std::shared_ptr<const index::IndexSnapshot> snapshot_;
   EngineOptions options_;
 };
 

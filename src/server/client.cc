@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "server/protocol.h"
@@ -86,6 +87,43 @@ Result<std::string> Client::QueryExplain(const std::string& text) {
 Result<std::string> Client::Stats() {
   return RoundTrip(static_cast<uint8_t>(FrameType::kStats), "",
                    static_cast<uint8_t>(FrameType::kStatsJson));
+}
+
+Result<uint64_t> Client::Ingest(const std::string& name,
+                                const std::string& xml) {
+  std::string payload;
+  payload.reserve(4 + name.size() + xml.size());
+  const uint32_t name_length = static_cast<uint32_t>(name.size());
+  payload.push_back(static_cast<char>(name_length & 0xff));
+  payload.push_back(static_cast<char>((name_length >> 8) & 0xff));
+  payload.push_back(static_cast<char>((name_length >> 16) & 0xff));
+  payload.push_back(static_cast<char>((name_length >> 24) & 0xff));
+  payload += name;
+  payload += xml;
+  TIX_ASSIGN_OR_RETURN(std::string response,
+                       RoundTrip(static_cast<uint8_t>(FrameType::kIngest),
+                                 payload,
+                                 static_cast<uint8_t>(FrameType::kResult)));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long doc_id =
+      std::strtoull(response.c_str(), &end, 10);
+  if (errno != 0 || end == response.c_str()) {
+    return Status::Internal("malformed ingest response: " + response);
+  }
+  return static_cast<uint64_t>(doc_id);
+}
+
+Status Client::Delete(const std::string& name) {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kDelete), name,
+                   static_cast<uint8_t>(FrameType::kResult))
+      .status();
+}
+
+Status Client::Compact() {
+  return RoundTrip(static_cast<uint8_t>(FrameType::kCompact), "",
+                   static_cast<uint8_t>(FrameType::kResult))
+      .status();
 }
 
 Status Client::Ping() {

@@ -42,6 +42,17 @@ class Client {
   /// Fetches the server stats JSON document.
   Result<std::string> Stats();
 
+  /// Adds a document to a live-index server; returns the assigned doc
+  /// id. Read-only servers answer InvalidArgument.
+  Result<uint64_t> Ingest(const std::string& name, const std::string& xml);
+
+  /// Tombstones the newest live document named `name` (NotFound when no
+  /// live document matches).
+  Status Delete(const std::string& name);
+
+  /// Force-seals the server's write buffer and runs one compaction.
+  Status Compact();
+
   /// Round-trip liveness check.
   Status Ping();
 

@@ -2,22 +2,40 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sys/socket.h>
 #include <unistd.h>
+
+// MSG_NOSIGNAL is POSIX.1-2008 but historically missing on a few
+// platforms (macOS uses the per-fd SO_NOSIGPIPE instead). Degrading to 0
+// only loses the SIGPIPE suppression, never correctness.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace tix::server {
 
 namespace {
 
-/// write(2) until everything is out (EINTR-safe).
+/// send(2) until everything is out (EINTR-safe). MSG_NOSIGNAL keeps a
+/// peer that disconnected mid-write from killing the process with
+/// SIGPIPE — the server library must survive that on its own, without
+/// every embedder (tixd, in-process benches, tests) having to install a
+/// ::signal(SIGPIPE, SIG_IGN) handler. The resulting EPIPE is reported
+/// with the canonical "connection closed" message, i.e. a clean session
+/// end rather than an alarming I/O failure.
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::IOError("connection closed");
+      }
       return Status::IOError(std::string("write: ") + std::strerror(errno));
     }
-    if (n == 0) return Status::IOError("write: connection closed");
+    if (n == 0) return Status::IOError("connection closed");
     written += static_cast<size_t>(n);
   }
   return Status::OK();

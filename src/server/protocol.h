@@ -35,6 +35,17 @@ enum class FrameType : uint8_t {
   kStats = 0x03,         ///< Empty payload. Response: kStatsJson.
   kPing = 0x04,          ///< Empty payload. Response: kPong.
   kShutdown = 0x05,      ///< Ask the server to stop. Response: kPong first.
+  /// Add a document to the live index. Payload: [u32 name length,
+  /// little-endian][name bytes][XML bytes]. Response: kResult carrying
+  /// the assigned doc id in decimal, or kError.
+  kIngest = 0x06,
+  /// Tombstone a document. Payload: document name. The newest live
+  /// document with that name is deleted. Response: kResult (empty) or
+  /// kError (NotFound when no live document matches).
+  kDelete = 0x07,
+  /// Force-seal the write buffer and run one compaction round. Empty
+  /// payload. Response: kResult (empty) or kError.
+  kCompact = 0x08,
   // Responses (server -> client).
   kResult = 0x81,     ///< Payload: rendered result text.
   kError = 0x82,      ///< Payload: [u8 StatusCode][message] (EncodeError).

@@ -33,11 +33,23 @@ std::string NormalizeQueryText(std::string_view text) {
 }
 
 std::shared_ptr<const std::string> ResultCache::Lookup(
-    const std::string& key) {
+    const std::string& key, uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    obs::Count(obs::Counter::kResultCacheMisses);
+    return nullptr;
+  }
+  if (it->second->generation != generation) {
+    // Stale: computed under an older index generation. Evict lazily —
+    // mutations never touch the cache; the next lookup pays instead.
+    bytes_ -= it->second->charge;
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++gen_evictions_;
+    ++misses_;
+    obs::Count(obs::Counter::kResultCacheGenEvictions);
     obs::Count(obs::Counter::kResultCacheMisses);
     return nullptr;
   }
@@ -47,7 +59,7 @@ std::shared_ptr<const std::string> ResultCache::Lookup(
   return it->second->payload;
 }
 
-void ResultCache::Insert(const std::string& key,
+void ResultCache::Insert(const std::string& key, uint64_t generation,
                          std::shared_ptr<const std::string> payload) {
   if (payload == nullptr) return;
   const size_t charge = Charge(key, *payload);
@@ -56,15 +68,18 @@ void ResultCache::Insert(const std::string& key,
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // Replace in place (two sessions can miss-then-execute the same
-    // query concurrently; both payloads are equivalent).
+    // query concurrently; both payloads are equivalent — and a replace
+    // racing a generation bump just restamps, which the next Lookup
+    // sorts out).
     bytes_ -= it->second->charge;
     it->second->payload = std::move(payload);
     it->second->charge = charge;
+    it->second->generation = generation;
     bytes_ += charge;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(payload), charge});
+  lru_.push_front(Entry{key, std::move(payload), charge, generation});
   map_.emplace(std::string_view(lru_.front().key), lru_.begin());
   bytes_ += charge;
   ++inserts_;
@@ -88,6 +103,7 @@ ResultCacheStats ResultCache::Stats() const {
   stats.misses = misses_;
   stats.inserts = inserts_;
   stats.evictions = evictions_;
+  stats.gen_evictions = gen_evictions_;
   stats.entries = lru_.size();
   stats.bytes = bytes_;
   stats.capacity_bytes = capacity_bytes_;

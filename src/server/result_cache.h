@@ -14,9 +14,14 @@
 /// \file
 /// The serving-path result cache: a size-bounded LRU map from
 /// *normalized* query text to the fully rendered response payload.
-/// Queries are read-only over an immutable database + index, so a cached
-/// response never goes stale within one server process; restart (or a
-/// future reindex hook) is the invalidation story (docs/SERVING.md).
+///
+/// With a live (segmented) index the underlying data changes between
+/// queries, so every entry is stamped with the index generation it was
+/// computed at. A Lookup presenting a different generation treats the
+/// entry as stale: it is dropped on the spot (lazy eviction — no
+/// mutation ever walks the cache) and reported as a miss. A server over
+/// an immutable index passes a constant generation and keeps the old
+/// never-stale behavior (docs/SERVING.md).
 ///
 /// Normalization runs the real query lexer and re-serializes the token
 /// stream, so "for $a in ..." and "FOR   $a IN ..." (and comment or
@@ -37,6 +42,9 @@ struct ResultCacheStats {
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;
+  /// Entries dropped because their stamped generation went stale
+  /// (subset of misses, disjoint from capacity `evictions`).
+  uint64_t gen_evictions = 0;
   uint64_t entries = 0;
   uint64_t bytes = 0;  ///< Charged bytes currently resident.
   uint64_t capacity_bytes = 0;
@@ -50,15 +58,19 @@ class ResultCache {
   TIX_DISALLOW_COPY_AND_ASSIGN(ResultCache);
 
   /// The cached payload, or nullptr on miss. Promotes the entry to MRU.
-  /// Charges obs::kResultCacheHits / kResultCacheMisses to the calling
-  /// thread's metrics context (the server session's), so cache behavior
-  /// shows up in the same observability tree as every other counter.
-  std::shared_ptr<const std::string> Lookup(const std::string& key);
+  /// An entry stamped with a generation other than `generation` is
+  /// stale: it is erased and the lookup misses (also charged to
+  /// obs::kResultCacheGenEvictions). Charges obs::kResultCacheHits /
+  /// kResultCacheMisses to the calling thread's metrics context (the
+  /// server session's), so cache behavior shows up in the same
+  /// observability tree as every other counter.
+  std::shared_ptr<const std::string> Lookup(const std::string& key,
+                                            uint64_t generation);
 
-  /// Inserts (or replaces) the payload for `key`, then evicts LRU
-  /// entries until within capacity. Payloads larger than the whole
-  /// capacity are not admitted.
-  void Insert(const std::string& key,
+  /// Inserts (or replaces) the payload for `key`, stamped with the index
+  /// generation it was computed at, then evicts LRU entries until within
+  /// capacity. Payloads larger than the whole capacity are not admitted.
+  void Insert(const std::string& key, uint64_t generation,
               std::shared_ptr<const std::string> payload);
 
   ResultCacheStats Stats() const;
@@ -73,6 +85,7 @@ class ResultCache {
     std::string key;
     std::shared_ptr<const std::string> payload;
     size_t charge = 0;
+    uint64_t generation = 0;  ///< Index generation the payload reflects.
   };
 
   /// Approximate footprint of one entry (strings + node overhead).
@@ -93,6 +106,7 @@ class ResultCache {
   uint64_t misses_ = 0;
   uint64_t inserts_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t gen_evictions_ = 0;
 };
 
 }  // namespace tix::server

@@ -13,6 +13,7 @@
 #include "common/string_util.h"
 #include "index/block_cache.h"
 #include "server/protocol.h"
+#include "xml/parser.h"
 
 namespace tix::server {
 
@@ -85,7 +86,16 @@ class TixServer::AdmissionSlot {
 
 TixServer::TixServer(storage::Database* db, const index::InvertedIndex* index,
                      ServerOptions options)
-    : db_(db), index_(index), options_(std::move(options)) {
+    : db_(db), index_(index), segmented_(nullptr), options_(std::move(options)) {
+  result_cache_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
+}
+
+TixServer::TixServer(storage::Database* db, index::SegmentedIndex* segmented,
+                     ServerOptions options)
+    : db_(db),
+      index_(nullptr),
+      segmented_(segmented),
+      options_(std::move(options)) {
   result_cache_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
 }
 
@@ -138,6 +148,9 @@ Status TixServer::Start() {
   const size_t threads =
       options_.session_threads == 0 ? 1 : options_.session_threads;
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (segmented_ != nullptr) {
+    maintenance_pool_ = std::make_unique<ThreadPool>(1);
+  }
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -159,6 +172,10 @@ void TixServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   if (pool_ != nullptr) pool_->Shutdown();
   pool_.reset();
+  // After the session pool: sessions are the only compaction schedulers,
+  // so no new work can arrive; drain what is in flight.
+  if (maintenance_pool_ != nullptr) maintenance_pool_->Shutdown();
+  maintenance_pool_.reset();
   CloseFd(listen_fd_);
   listen_fd_ = -1;
 
@@ -232,6 +249,15 @@ void TixServer::RunSession(int fd) {
       case FrameType::kPing:
         handled = WriteFrame(fd, FrameType::kPong, "");
         break;
+      case FrameType::kIngest:
+        handled = HandleIngest(fd, frame->payload);
+        break;
+      case FrameType::kDelete:
+        handled = HandleDelete(fd, frame->payload);
+        break;
+      case FrameType::kCompact:
+        handled = HandleCompact(fd);
+        break;
       case FrameType::kShutdown: {
         handled = WriteFrame(fd, FrameType::kPong, "");
         // Stop() joins the pool, so it cannot run here on a pool
@@ -265,11 +291,23 @@ Status TixServer::HandleQuery(int fd, const std::string& text, bool explain) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::string key = NormalizeQueryText(text);
 
+  // Live mode pins the snapshot *before* the cache lookup so the
+  // generation the cache is consulted at is exactly the one this query
+  // would execute at — a hit is provably current, and the entry a miss
+  // later inserts carries the generation of the snapshot it reflects.
+  std::shared_ptr<const index::IndexSnapshot> snapshot;
+  uint64_t generation = 0;
+  if (segmented_ != nullptr) {
+    snapshot = segmented_->Acquire();
+    generation = snapshot->generation();
+  }
+
   // Fast path: serve straight from the result cache — no admission
   // needed, a cache hit does no engine work. EXPLAIN always executes
   // (its payload embeds per-run metrics, which are meaningless cached).
   if (!explain) {
-    if (const auto cached = result_cache_->Lookup(key); cached != nullptr) {
+    if (const auto cached = result_cache_->Lookup(key, generation);
+        cached != nullptr) {
       queries_ok_.fetch_add(1, std::memory_order_relaxed);
       return WriteFrame(fd, FrameType::kResult, *cached);
     }
@@ -289,7 +327,8 @@ Status TixServer::HandleQuery(int fd, const std::string& text, bool explain) {
   }
   if (options_.test_query_hook) options_.test_query_hook(key);
 
-  Result<std::string> rendered = ExecuteQuery(text, explain, deadline);
+  Result<std::string> rendered =
+      ExecuteQuery(text, explain, deadline, snapshot);
   if (!rendered.ok()) {
     if (rendered.status().IsDeadlineExceeded()) {
       queries_timeout_.fetch_add(1, std::memory_order_relaxed);
@@ -301,20 +340,28 @@ Status TixServer::HandleQuery(int fd, const std::string& text, bool explain) {
   queries_ok_.fetch_add(1, std::memory_order_relaxed);
   if (!explain) {
     result_cache_->Insert(
-        key, std::make_shared<const std::string>(rendered.value()));
+        key, generation,
+        std::make_shared<const std::string>(rendered.value()));
   }
   return WriteFrame(fd, FrameType::kResult, rendered.value());
 }
 
-Result<std::string> TixServer::ExecuteQuery(const std::string& text,
-                                            bool explain,
-                                            const Deadline& deadline) {
+Result<std::string> TixServer::ExecuteQuery(
+    const std::string& text, bool explain, const Deadline& deadline,
+    std::shared_ptr<const index::IndexSnapshot> snapshot) {
   query::EngineOptions engine_options = options_.engine;
   engine_options.collect_metrics = explain;
   engine_options.deadline = deadline;
+  // The database stays readable for the whole execution: ingestion
+  // (which reallocates storage) queues behind this shared hold. The
+  // *index* view needs no lock — the pinned snapshot is immutable.
+  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
   // Engines are cheap to construct: the database, index and decoded-
   // block cache behind them are the long-lived shared state.
-  query::QueryEngine engine(db_, index_, engine_options);
+  query::QueryEngine engine =
+      snapshot != nullptr
+          ? query::QueryEngine(db_, std::move(snapshot), engine_options)
+          : query::QueryEngine(db_, index_, engine_options);
   TIX_ASSIGN_OR_RETURN(query::QueryOutput output, engine.ExecuteText(text));
   TIX_ASSIGN_OR_RETURN(std::string body,
                        engine.RenderXml(output, options_.render_limit));
@@ -330,6 +377,117 @@ Result<std::string> TixServer::ExecuteQuery(const std::string& text,
   return response;
 }
 
+Status TixServer::HandleIngest(int fd, const std::string& payload) {
+  if (segmented_ == nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "server is read-only (no live index)")));
+  }
+  if (payload.size() < 4) {
+    return WriteFrame(
+        fd, FrameType::kError,
+        EncodeError(Status::InvalidArgument("malformed ingest payload")));
+  }
+  const uint32_t name_length = static_cast<uint32_t>(
+      static_cast<uint8_t>(payload[0]) |
+      (static_cast<uint8_t>(payload[1]) << 8) |
+      (static_cast<uint8_t>(payload[2]) << 16) |
+      (static_cast<uint8_t>(payload[3]) << 24));
+  if (static_cast<uint64_t>(name_length) + 4 > payload.size()) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "ingest name length exceeds payload")));
+  }
+  std::string name = payload.substr(4, name_length);
+  const std::string_view xml_text(payload.data() + 4 + name_length,
+                                  payload.size() - 4 - name_length);
+  // Parse outside the exclusive lock — it is the expensive part and
+  // touches nothing shared.
+  Result<xml::XmlDocument> document = xml::ParseXml(xml_text, name);
+  if (!document.ok()) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(document.status()));
+  }
+  storage::DocId doc_id = 0;
+  Status ingest_status = Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+    Result<storage::DocId> added = db_->AddDocument(document.value());
+    if (!added.ok()) {
+      ingest_status = added.status();
+    } else {
+      doc_id = added.value();
+      ingest_status = segmented_->Ingest(db_, doc_id);
+    }
+  }
+  if (!ingest_status.ok()) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(ingest_status));
+  }
+  ingests_.fetch_add(1, std::memory_order_relaxed);
+  segmented_->MaybeScheduleCompaction(maintenance_pool_.get());
+  return WriteFrame(fd, FrameType::kResult, std::to_string(doc_id));
+}
+
+Status TixServer::HandleDelete(int fd, const std::string& payload) {
+  if (segmented_ == nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "server is read-only (no live index)")));
+  }
+  if (payload.empty()) {
+    return WriteFrame(
+        fd, FrameType::kError,
+        EncodeError(Status::InvalidArgument("delete needs a document name")));
+  }
+  // Resolve name -> newest live doc id under the shared lock (the
+  // documents vector must not reallocate mid-scan), then tombstone.
+  Status status = Status::OK();
+  bool found = false;
+  {
+    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    const auto snapshot = segmented_->Acquire();
+    const auto& documents = db_->documents();
+    for (size_t i = documents.size(); i-- > 0;) {
+      if (documents[i].name == payload &&
+          snapshot->IsLiveDocument(documents[i].doc_id)) {
+        status = segmented_->Delete(documents[i].doc_id);
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    status = Status::NotFound("no live document named \"" + payload + "\"");
+  }
+  if (!status.ok()) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(status));
+  }
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return WriteFrame(fd, FrameType::kResult, "");
+}
+
+Status TixServer::HandleCompact(int fd) {
+  if (segmented_ == nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "server is read-only (no live index)")));
+  }
+  // Seal reads the database (building the segment from stored docs);
+  // shared suffices — concurrent queries read the same structures, and
+  // ingestion's exclusive hold is what we must not overlap with.
+  Status status;
+  {
+    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    status = segmented_->Seal(db_);
+  }
+  // The merge itself reads only sealed segment data; no db lock. Runs
+  // synchronously so the client observes the compacted state on return.
+  if (status.ok()) status = segmented_->Compact();
+  if (!status.ok()) {
+    return WriteFrame(fd, FrameType::kError, EncodeError(status));
+  }
+  return WriteFrame(fd, FrameType::kResult, "");
+}
+
 ServerStats TixServer::Stats() const {
   ServerStats stats;
   stats.connections_accepted =
@@ -342,6 +500,8 @@ ServerStats TixServer::Stats() const {
   stats.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
   stats.queries_timeout = queries_timeout_.load(std::memory_order_relaxed);
   stats.result_cache_hits = result_cache_->Stats().hits;
+  stats.ingests = ingests_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
   stats.active_sessions = active_sessions_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
@@ -367,14 +527,32 @@ std::string TixServer::StatsJson() const {
   AppendJsonField(&out, "queries_error", server.queries_error, &first);
   AppendJsonField(&out, "queries_rejected", server.queries_rejected, &first);
   AppendJsonField(&out, "queries_timeout", server.queries_timeout, &first);
+  AppendJsonField(&out, "ingests", server.ingests, &first);
+  AppendJsonField(&out, "deletes", server.deletes, &first);
   AppendJsonField(&out, "active_sessions", server.active_sessions, &first);
   AppendJsonField(&out, "inflight", server.inflight, &first);
-  out += "},\"result_cache\":{";
+  out += "}";
+  if (segmented_ != nullptr) {
+    const index::SegmentedIndexStats seg = segmented_->Stats();
+    out += ",\"index\":{";
+    first = true;
+    AppendJsonField(&out, "generation", seg.generation, &first);
+    AppendJsonField(&out, "segments", seg.num_segments, &first);
+    AppendJsonField(&out, "buffered_docs", seg.buffered_docs, &first);
+    AppendJsonField(&out, "live_documents", seg.live_documents, &first);
+    AppendJsonField(&out, "tombstones", seg.tombstones, &first);
+    AppendJsonField(&out, "deleted_docs", seg.deleted_docs, &first);
+    AppendJsonField(&out, "total_postings", seg.total_postings, &first);
+    AppendJsonField(&out, "compactions", seg.compactions, &first);
+    out += "}";
+  }
+  out += ",\"result_cache\":{";
   first = true;
   AppendJsonField(&out, "hits", cache.hits, &first);
   AppendJsonField(&out, "misses", cache.misses, &first);
   AppendJsonField(&out, "inserts", cache.inserts, &first);
   AppendJsonField(&out, "evictions", cache.evictions, &first);
+  AppendJsonField(&out, "gen_evictions", cache.gen_evictions, &first);
   AppendJsonField(&out, "entries", cache.entries, &first);
   AppendJsonField(&out, "bytes", cache.bytes, &first);
   AppendJsonField(&out, "capacity_bytes", cache.capacity_bytes, &first);

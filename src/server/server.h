@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -15,6 +16,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "index/inverted_index.h"
+#include "index/segmented_index.h"
 #include "query/engine.h"
 #include "server/result_cache.h"
 #include "storage/database.h"
@@ -22,12 +24,23 @@
 /// \file
 /// The resident query server behind `tixd`: opens the database once and
 /// serves concurrent sessions over the length-prefixed TCP protocol
-/// (server/protocol.h, docs/SERVING.md). One process-wide immutable
-/// index, decoded-block cache and result cache are shared by every
-/// session; each session runs as a task on a tix::ThreadPool and carries
-/// its own obs::MetricsContext (parented to a server-wide root context,
-/// so per-query EXPLAIN stays exact under concurrency while server
-/// totals roll up for free).
+/// (server/protocol.h, docs/SERVING.md). One process-wide index,
+/// decoded-block cache and result cache are shared by every session;
+/// each session runs as a task on a tix::ThreadPool and carries its own
+/// obs::MetricsContext (parented to a server-wide root context, so
+/// per-query EXPLAIN stays exact under concurrency while server totals
+/// roll up for free).
+///
+/// Two index modes. With a monolithic InvertedIndex the server is
+/// read-only and a cached response never goes stale. With a
+/// SegmentedIndex the server additionally accepts INGEST / DELETE /
+/// COMPACT frames: each query pins an index snapshot for its whole run
+/// (so concurrent mutations never change its view), result-cache
+/// entries are stamped with the snapshot generation (stale ones evict
+/// lazily), and a one-thread maintenance pool compacts small segments
+/// in the background. The database itself is guarded by a
+/// shared_mutex — queries share it, ingestion takes it exclusively —
+/// because Database::AddDocument mutates storage that queries read.
 ///
 /// Overload degrades to fast rejection, never collapse: connections
 /// beyond `max_sessions` get an immediate busy error, queries beyond
@@ -84,6 +97,8 @@ struct ServerStats {
   uint64_t queries_rejected = 0;  ///< Admission-control rejections.
   uint64_t queries_timeout = 0;   ///< Deadline-exceeded executions.
   uint64_t result_cache_hits = 0;
+  uint64_t ingests = 0;       ///< Documents accepted via kIngest.
+  uint64_t deletes = 0;       ///< Documents tombstoned via kDelete.
   uint64_t active_sessions = 0;  ///< Gauge.
   uint64_t inflight = 0;         ///< Gauge.
 };
@@ -93,6 +108,13 @@ class TixServer {
   /// `db` and `index` must outlive the server and are shared read-only
   /// by every session.
   TixServer(storage::Database* db, const index::InvertedIndex* index,
+            ServerOptions options);
+
+  /// Live-index mode: serves queries against per-query snapshots of
+  /// `segmented` and accepts INGEST / DELETE / COMPACT frames. `db` and
+  /// `segmented` must outlive the server; the server owns all mutation
+  /// of both while running.
+  TixServer(storage::Database* db, index::SegmentedIndex* segmented,
             ServerOptions options);
   /// Stops the server if still running.
   ~TixServer();
@@ -138,17 +160,35 @@ class TixServer {
   Status HandleQuery(int fd, const std::string& text, bool explain);
   /// Executes against a per-request engine; returns the rendered
   /// response payload. `deadline` is the query's execution budget,
-  /// started when the query was admitted.
-  Result<std::string> ExecuteQuery(const std::string& text, bool explain,
-                                   const Deadline& deadline);
+  /// started when the query was admitted. `snapshot` is the pinned
+  /// index view in live mode (null = monolithic index_).
+  Result<std::string> ExecuteQuery(
+      const std::string& text, bool explain, const Deadline& deadline,
+      std::shared_ptr<const index::IndexSnapshot> snapshot);
+  /// kIngest: payload is [u32 name length LE][name][xml]. Parses,
+  /// appends to the database and the live index under the exclusive db
+  /// lock, answers kResult with the assigned doc id in decimal.
+  Status HandleIngest(int fd, const std::string& payload);
+  /// kDelete: payload is a document name; tombstones the newest live
+  /// document with that name.
+  Status HandleDelete(int fd, const std::string& payload);
+  /// kCompact: force-seals the write buffer, then runs one compaction.
+  Status HandleCompact(int fd);
 
   /// RAII in-flight slot. `ok()` false means rejected (status() says
   /// why); destructor releases the slot and wakes one waiter.
   class AdmissionSlot;
 
   storage::Database* const db_;
-  const index::InvertedIndex* const index_;
+  const index::InvertedIndex* const index_;   ///< Monolithic mode.
+  index::SegmentedIndex* const segmented_;    ///< Live mode (else null).
   const ServerOptions options_;
+
+  /// Guards the database in live mode: queries hold it shared for their
+  /// whole execution, ingestion exclusively (AddDocument reallocates
+  /// storage that queries read). Monolithic mode never writes, so the
+  /// shared acquisitions are uncontended.
+  mutable std::shared_mutex db_mu_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -156,6 +196,8 @@ class TixServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
+  /// One background thread for segment compaction (live mode only).
+  std::unique_ptr<ThreadPool> maintenance_pool_;
   std::unique_ptr<ResultCache> result_cache_;
 
   /// Open session sockets; Stop() shuts them down to wake blocked reads.
@@ -186,6 +228,8 @@ class TixServer {
   std::atomic<uint64_t> queries_error_{0};
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> queries_timeout_{0};
+  std::atomic<uint64_t> ingests_{0};
+  std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> active_sessions_{0};
 };
 

@@ -150,9 +150,9 @@ TEST(NormalizeQueryTest, UnlexableTextFallsBackToRaw) {
 
 TEST(ResultCacheTest, HitMissAndPromotion) {
   ResultCache cache(1 << 20);
-  EXPECT_EQ(cache.Lookup("q1"), nullptr);
-  cache.Insert("q1", std::make_shared<const std::string>("r1"));
-  const auto hit = cache.Lookup("q1");
+  EXPECT_EQ(cache.Lookup("q1", 0), nullptr);
+  cache.Insert("q1", 0, std::make_shared<const std::string>("r1"));
+  const auto hit = cache.Lookup("q1", 0);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, "r1");
   const ResultCacheStats stats = cache.Stats();
@@ -164,36 +164,36 @@ TEST(ResultCacheTest, HitMissAndPromotion) {
 TEST(ResultCacheTest, EvictsLruUnderTinyBudget) {
   // Budget fits roughly two entries; the least recently used goes first.
   ResultCache cache(2 * (2 + 64 + 96));
-  cache.Insert("a", std::make_shared<const std::string>(std::string(64, 'a')));
-  cache.Insert("b", std::make_shared<const std::string>(std::string(64, 'b')));
-  ASSERT_NE(cache.Lookup("a"), nullptr);  // promote "a"; "b" is now LRU
-  cache.Insert("c", std::make_shared<const std::string>(std::string(64, 'c')));
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  EXPECT_EQ(cache.Lookup("b"), nullptr);
-  EXPECT_NE(cache.Lookup("c"), nullptr);
+  cache.Insert("a", 0, std::make_shared<const std::string>(std::string(64, 'a')));
+  cache.Insert("b", 0, std::make_shared<const std::string>(std::string(64, 'b')));
+  ASSERT_NE(cache.Lookup("a", 0), nullptr);  // promote "a"; "b" is now LRU
+  cache.Insert("c", 0, std::make_shared<const std::string>(std::string(64, 'c')));
+  EXPECT_NE(cache.Lookup("a", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 0), nullptr);
+  EXPECT_NE(cache.Lookup("c", 0), nullptr);
   EXPECT_GE(cache.Stats().evictions, 1u);
   EXPECT_LE(cache.Stats().bytes, cache.capacity_bytes());
 }
 
 TEST(ResultCacheTest, ZeroCapacityDisables) {
   ResultCache cache(0);
-  cache.Insert("q", std::make_shared<const std::string>("r"));
-  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  cache.Insert("q", 0, std::make_shared<const std::string>("r"));
+  EXPECT_EQ(cache.Lookup("q", 0), nullptr);
   EXPECT_EQ(cache.Stats().entries, 0u);
 }
 
 TEST(ResultCacheTest, OversizePayloadNotAdmitted) {
   ResultCache cache(128);
-  cache.Insert("q", std::make_shared<const std::string>(std::string(256, 'x')));
-  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  cache.Insert("q", 0, std::make_shared<const std::string>(std::string(256, 'x')));
+  EXPECT_EQ(cache.Lookup("q", 0), nullptr);
   EXPECT_EQ(cache.Stats().bytes, 0u);
 }
 
 TEST(ResultCacheTest, ReplaceInPlaceKeepsOneEntry) {
   ResultCache cache(1 << 20);
-  cache.Insert("q", std::make_shared<const std::string>("old"));
-  cache.Insert("q", std::make_shared<const std::string>("new"));
-  const auto hit = cache.Lookup("q");
+  cache.Insert("q", 0, std::make_shared<const std::string>("old"));
+  cache.Insert("q", 0, std::make_shared<const std::string>("new"));
+  const auto hit = cache.Lookup("q", 0);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, "new");
   EXPECT_EQ(cache.Stats().entries, 1u);
@@ -214,11 +214,11 @@ TEST(ResultCacheTest, ConcurrentHammer) {
       }
       for (int i = 0; i < 500; ++i) {
         const std::string key(1, static_cast<char>('a' + (t + i) % 6));
-        if (const auto hit = cache.Lookup(key); hit != nullptr) {
+        if (const auto hit = cache.Lookup(key, 0); hit != nullptr) {
           // A cached payload is always the key repeated 32 times.
           EXPECT_EQ(*hit, std::string(32, key[0]));
         } else {
-          cache.Insert(key,
+          cache.Insert(key, 0,
                        std::make_shared<const std::string>(
                            std::string(32, key[0])));
         }

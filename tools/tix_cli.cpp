@@ -2,6 +2,9 @@
 //
 //   tix_cli load  --db=DIR file.xml [file.xml ...]   load documents
 //   tix_cli index --db=DIR                           build + persist index
+//   tix_cli ingest --db=DIR file.xml [file.xml ...]  add docs to live index
+//   tix_cli delete --db=DIR name.xml                 tombstone a document
+//   tix_cli compact --db=DIR                         seal + merge segments
 //   tix_cli stats --db=DIR                           database/index stats
 //   tix_cli terms --db=DIR [--min=N] [--max=N]       vocabulary by frequency
 //   tix_cli query --db=DIR [--threads=N] [--no-pushdown]
@@ -29,6 +32,16 @@
 // cardinalities and storage counters) after the results; --stats-json
 // prints only the plan tree as JSON (schema: docs/OBSERVABILITY.md).
 //
+// Two indexing modes share the query path. `index` builds one
+// monolithic index.tix (and clears any segmented state — the rebuild
+// covers everything, so stale segments must not shadow it). `ingest` /
+// `delete` / `compact` drive the segmented live index (docs/INDEX.md):
+// ingest appends documents and buffers them (sealed into segment files
+// at the configured thresholds; unsealed docs are re-buffered from the
+// database on the next open), delete tombstones, compact force-seals
+// and merges. `query`, `stats` and `verify` use the manifest when one
+// exists and fall back to index.tix otherwise.
+//
 // A typical session:
 //   tix_cli load  --db=/tmp/db docs/*.xml
 //   tix_cli index --db=/tmp/db
@@ -37,6 +50,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +61,8 @@
 #include "exec/path_stack.h"
 #include "index/block_cache.h"
 #include "index/inverted_index.h"
+#include "index/manifest.h"
+#include "index/segmented_index.h"
 #include "query/engine.h"
 #include "storage/database.h"
 #include "xml/parser.h"
@@ -127,9 +144,20 @@ tix::storage::DatabaseOptions DbOptions(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tix_cli <load|index|stats|terms|query|path|verify> "
-               "--db=DIR [args]\n");
+               "usage: tix_cli <load|index|ingest|delete|compact|stats|terms|"
+               "query|path|verify> --db=DIR [args]\n");
   return 2;
+}
+
+/// Opens the segmented index and re-buffers any database documents
+/// beyond its high-water mark (docs ingested but not yet sealed when
+/// the previous process exited).
+std::unique_ptr<tix::index::SegmentedIndex> OpenSegmented(
+    const Args& args, tix::storage::Database* db) {
+  auto segmented = Check(tix::index::SegmentedIndex::Open(args.db_dir));
+  const tix::Status recovered = segmented->Recover(db);
+  if (!recovered.ok()) Die(recovered);
+  return segmented;
 }
 
 int CmdLoad(const Args& args) {
@@ -168,10 +196,110 @@ int CmdIndex(const Args& args) {
   auto index = Check(tix::index::InvertedIndex::Build(db.get()));
   const tix::Status saved = index.SaveToFile(IndexPath(args.db_dir));
   if (!saved.ok()) Die(saved);
+  // A full rebuild covers every document, so segmented state is now
+  // stale — and the manifest would shadow the fresh index.tix on the
+  // next query. Remove it together with its segment files.
+  auto manifest = tix::index::LoadManifest(args.db_dir);
+  if (manifest.ok()) {
+    for (const auto& info : manifest.value().segments) {
+      if (info.file == "index.tix") continue;  // just rewritten above
+      std::remove((args.db_dir + "/" + info.file).c_str());
+    }
+    std::remove(tix::index::ManifestPath(args.db_dir).c_str());
+    std::printf("removed stale segmented index (%zu segments)\n",
+                manifest.value().segments.size());
+  } else if (!manifest.status().IsNotFound()) {
+    // A damaged manifest cannot be enumerated, but it must still not
+    // shadow the rebuild.
+    std::remove(tix::index::ManifestPath(args.db_dir).c_str());
+    std::printf("removed unreadable manifest (%s)\n",
+                manifest.status().ToString().c_str());
+  }
   std::printf("indexed %llu terms, %llu postings -> %s\n",
               static_cast<unsigned long long>(index.stats().num_terms),
               static_cast<unsigned long long>(index.stats().num_postings),
               IndexPath(args.db_dir).c_str());
+  return 0;
+}
+
+int CmdIngest(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "ingest: no input files\n");
+    return 2;
+  }
+  auto opened = tix::storage::Database::Open(args.db_dir, DbOptions(args));
+  if (!opened.ok() && !opened.status().IsIOError()) Die(opened.status());
+  std::unique_ptr<tix::storage::Database> db =
+      opened.ok()
+          ? std::move(opened).value()
+          : Check(tix::storage::Database::Create(args.db_dir, DbOptions(args)));
+  auto segmented = OpenSegmented(args, db.get());
+  for (const std::string& path : args.positional) {
+    auto document = Check(tix::xml::ParseXmlFile(path));
+    std::string name = path;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    document.set_name(name);
+    const tix::storage::DocId doc = Check(db->AddDocument(document));
+    const tix::Status ingested = segmented->Ingest(db.get(), doc);
+    if (!ingested.ok()) Die(ingested);
+    std::printf("ingested %s as doc %u\n", name.c_str(), doc);
+  }
+  const tix::Status saved = db->Save();
+  if (!saved.ok()) Die(saved);
+  // The CLI is one-shot: seal so the batch is durable as a segment (the
+  // resident server can afford to leave the buffer open instead; its
+  // unsealed docs re-buffer from the database on the next open).
+  // Compaction merges the small per-invocation segments later.
+  const tix::Status sealed = segmented->Seal(db.get());
+  if (!sealed.ok()) Die(sealed);
+  const tix::index::SegmentedIndexStats stats = segmented->Stats();
+  std::printf("index generation %llu: %llu segments, %llu live docs\n",
+              static_cast<unsigned long long>(stats.generation),
+              static_cast<unsigned long long>(stats.num_segments),
+              static_cast<unsigned long long>(stats.live_documents));
+  return 0;
+}
+
+int CmdDelete(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "delete: no document name\n");
+    return 2;
+  }
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
+  auto segmented = OpenSegmented(args, db.get());
+  const std::string& name = args.positional[0];
+  const auto snapshot = segmented->Acquire();
+  const auto& documents = db->documents();
+  for (size_t i = documents.size(); i-- > 0;) {
+    if (documents[i].name == name &&
+        snapshot->IsLiveDocument(documents[i].doc_id)) {
+      const tix::Status deleted = segmented->Delete(documents[i].doc_id);
+      if (!deleted.ok()) Die(deleted);
+      std::printf("deleted %s (doc %u)\n", name.c_str(),
+                  documents[i].doc_id);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "delete: no live document named '%s'\n", name.c_str());
+  return 1;
+}
+
+int CmdCompact(const Args& args) {
+  auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
+  auto segmented = OpenSegmented(args, db.get());
+  const tix::index::SegmentedIndexStats before = segmented->Stats();
+  tix::Status status = segmented->Seal(db.get());
+  if (status.ok()) status = segmented->Compact();
+  if (!status.ok()) Die(status);
+  const tix::index::SegmentedIndexStats after = segmented->Stats();
+  std::printf(
+      "compacted: %llu -> %llu segments, %llu tombstones applied, "
+      "%llu postings resident\n",
+      static_cast<unsigned long long>(before.num_segments),
+      static_cast<unsigned long long>(after.num_segments),
+      static_cast<unsigned long long>(before.tombstones - after.tombstones),
+      static_cast<unsigned long long>(after.total_postings));
   return 0;
 }
 
@@ -190,6 +318,46 @@ int CmdStats(const Args& args) {
                   static_cast<unsigned long long>(doc.node_count),
                   static_cast<unsigned long long>(doc.word_count));
     }
+  }
+  // Segmented mode: per-segment residency plus live/tombstone counts.
+  if (tix::index::LoadManifest(args.db_dir).ok()) {
+    auto segmented = OpenSegmented(args, db.get());
+    const tix::index::SegmentedIndexStats stats = segmented->Stats();
+    const auto snapshot = segmented->Acquire();
+    std::printf("segmented index:\n");
+    std::printf("  generation: %llu\n",
+                static_cast<unsigned long long>(stats.generation));
+    std::printf("  live docs:  %llu (%llu deleted all-time, "
+                "%llu tombstones pending compaction)\n",
+                static_cast<unsigned long long>(stats.live_documents),
+                static_cast<unsigned long long>(stats.deleted_docs),
+                static_cast<unsigned long long>(stats.tombstones));
+    std::printf("  buffered:   %llu docs (unsealed)\n",
+                static_cast<unsigned long long>(stats.buffered_docs));
+    std::printf("  segments:   %llu sealed, %llu compactions run\n",
+                static_cast<unsigned long long>(stats.num_segments),
+                static_cast<unsigned long long>(stats.compactions));
+    for (size_t s = 0; s < snapshot->num_segments(); ++s) {
+      const tix::index::Segment& segment = snapshot->segment(s);
+      const auto& info = segment.info();
+      const tix::index::IndexResidency residency =
+          segment.index().MemoryUsage();
+      const size_t tombstoned = snapshot->DeletedInRange(
+          info.min_doc, static_cast<tix::storage::DocId>(info.max_doc + 1));
+      const bool is_buffer = info.file.empty();
+      std::printf(
+          "    %-18s docs [%u,%u] (%llu live, %zu tombstoned), "
+          "%s postings, %s bytes resident\n",
+          is_buffer ? "(write buffer)" : info.file.c_str(), info.min_doc,
+          info.max_doc,
+          static_cast<unsigned long long>(info.num_docs - tombstoned),
+          tombstoned,
+          tix::FormatWithCommas(static_cast<int64_t>(info.num_postings))
+              .c_str(),
+          tix::FormatWithCommas(static_cast<int64_t>(residency.total_bytes()))
+              .c_str());
+    }
+    return 0;
   }
   auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
   if (index.ok()) {
@@ -254,14 +422,29 @@ int CmdQuery(const Args& args) {
     return 2;
   }
   auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
-  auto index =
-      Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
   tix::query::EngineOptions engine_options;
   engine_options.num_threads = args.threads;
   engine_options.collect_metrics = args.explain || args.stats_json;
   engine_options.threshold_pushdown = !args.no_pushdown;
   engine_options.block_cache_bytes = args.block_cache_bytes;
-  tix::query::QueryEngine engine(db.get(), &index, engine_options);
+  // A manifest means the segmented index is authoritative: query a
+  // pinned snapshot of it. Otherwise fall back to monolithic index.tix.
+  std::unique_ptr<tix::index::SegmentedIndex> segmented;
+  std::optional<tix::index::InvertedIndex> index;
+  const auto manifest_probe = tix::index::LoadManifest(args.db_dir);
+  if (manifest_probe.ok()) {
+    segmented = OpenSegmented(args, db.get());
+  } else if (manifest_probe.status().IsNotFound()) {
+    index =
+        Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
+  } else {
+    Die(manifest_probe.status());
+  }
+  tix::query::QueryEngine engine =
+      segmented != nullptr
+          ? tix::query::QueryEngine(db.get(), segmented->Acquire(),
+                                    engine_options)
+          : tix::query::QueryEngine(db.get(), &index.value(), engine_options);
   const auto output = Check(engine.ExecuteText(args.positional[0]));
   if (args.stats_json) {
     // Machine-readable mode: the plan JSON is the whole output.
@@ -369,20 +552,55 @@ int CmdVerify(const Args& args) {
 
   // Loading the index IS the scrub for it: the loader re-validates the
   // block framing, posting order and document statistics of every list
-  // (all three format versions).
-  auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
-  if (index.ok()) {
-    std::printf("  %s: format v%d, %llu terms, %llu postings\n",
-                IndexPath(args.db_dir).c_str(),
-                index.value().format_version(),
-                static_cast<unsigned long long>(index.value().stats().num_terms),
-                static_cast<unsigned long long>(
-                    index.value().stats().num_postings));
-  } else if (index.status().IsIOError()) {
-    std::printf("  index: not built\n");
-  } else {
-    std::fprintf(stderr, "  %s\n", index.status().ToString().c_str());
+  // (all three format versions). With a manifest, every referenced
+  // segment is loaded the same way, plus the manifest's own CRC and
+  // structural invariants and the per-segment doc/posting cross-checks.
+  const auto manifest = tix::index::LoadManifest(args.db_dir);
+  if (manifest.ok()) {
+    std::printf("  %s: generation %llu, %zu segments, %zu tombstones\n",
+                tix::index::ManifestPath(args.db_dir).c_str(),
+                static_cast<unsigned long long>(manifest.value().generation),
+                manifest.value().segments.size(),
+                manifest.value().tombstones.size());
+    for (const auto& info : manifest.value().segments) {
+      auto segment = tix::index::Segment::Load(
+          args.db_dir + "/" + info.file, info, tix::index::IndexLoadOptions());
+      if (segment.ok()) {
+        std::printf("  %s/%s: docs [%u,%u], %llu postings\n",
+                    args.db_dir.c_str(), info.file.c_str(), info.min_doc,
+                    info.max_doc,
+                    static_cast<unsigned long long>(info.num_postings));
+      } else {
+        std::fprintf(stderr, "  %s/%s: %s\n", args.db_dir.c_str(),
+                     info.file.c_str(),
+                     segment.status().ToString().c_str());
+        ++problems;
+      }
+    }
+    if (manifest.value().next_doc > db->documents().size()) {
+      std::fprintf(stderr,
+                   "  manifest covers %u docs but the database has %zu\n",
+                   manifest.value().next_doc, db->documents().size());
+      ++problems;
+    }
+  } else if (!manifest.status().IsNotFound()) {
+    std::fprintf(stderr, "  %s\n", manifest.status().ToString().c_str());
     ++problems;
+  } else {
+    auto index =
+        tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
+    if (index.ok()) {
+      std::printf(
+          "  %s: format v%d, %llu terms, %llu postings\n",
+          IndexPath(args.db_dir).c_str(), index.value().format_version(),
+          static_cast<unsigned long long>(index.value().stats().num_terms),
+          static_cast<unsigned long long>(index.value().stats().num_postings));
+    } else if (index.status().IsIOError()) {
+      std::printf("  index: not built\n");
+    } else {
+      std::fprintf(stderr, "  %s\n", index.status().ToString().c_str());
+      ++problems;
+    }
   }
 
   if (problems > 0) {
@@ -402,6 +620,9 @@ int main(int argc, char** argv) {
   if (args.command.empty() || args.db_dir.empty()) return Usage();
   if (args.command == "load") return CmdLoad(args);
   if (args.command == "index") return CmdIndex(args);
+  if (args.command == "ingest") return CmdIngest(args);
+  if (args.command == "delete") return CmdDelete(args);
+  if (args.command == "compact") return CmdCompact(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "terms") return CmdTerms(args);
   if (args.command == "query") return CmdQuery(args);

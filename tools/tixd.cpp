@@ -12,6 +12,12 @@
 // open+load on every invocation: bench/bench_serve.cpp measures the
 // difference.
 //
+// The index is served in segmented (live) mode: an existing manifest
+// is loaded as-is, a monolithic index.tix is adopted in place as the
+// first segment, and an empty directory starts empty. Clients may
+// INGEST, DELETE and COMPACT while queries run — each query executes
+// against a pinned snapshot (docs/SERVING.md).
+//
 // On successful startup the daemon prints exactly one line
 //
 //   READY port=<port> pid=<pid>
@@ -27,7 +33,7 @@
 
 #include "flag_parse.h"
 #include "index/block_cache.h"
-#include "index/inverted_index.h"
+#include "index/segmented_index.h"
 #include "server/server.h"
 #include "storage/database.h"
 
@@ -102,11 +108,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto index =
-      tix::index::InvertedIndex::LoadFromFile(db_dir + "/index.tix");
-  if (!index.ok()) {
-    std::fprintf(stderr, "error: %s (run: tix_cli index --db=%s)\n",
-                 index.status().ToString().c_str(), db_dir.c_str());
+  auto segmented = tix::index::SegmentedIndex::Open(db_dir);
+  if (!segmented.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 segmented.status().ToString().c_str());
+    return 1;
+  }
+  // Re-buffer documents that were ingested but not sealed before the
+  // previous process exited.
+  const tix::Status recovered = segmented.value()->Recover(db.value().get());
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "error: %s\n", recovered.ToString().c_str());
     return 1;
   }
 
@@ -118,9 +130,13 @@ int main(int argc, char** argv) {
   action.sa_handler = HandleStopSignal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the daemon
+  // No SIGPIPE handling here: the server library writes with
+  // MSG_NOSIGNAL and treats EPIPE as a clean session end, so a dying
+  // client cannot kill the daemon regardless of the embedder's signal
+  // disposition.
 
-  tix::server::TixServer server(db.value().get(), &index.value(), options);
+  tix::server::TixServer server(db.value().get(), segmented.value().get(),
+                                options);
   const tix::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
