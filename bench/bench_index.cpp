@@ -14,8 +14,19 @@
 // a varint decode) and warm (cache kept — steady-state of a resident
 // server). The contract is that warm compressed joins do not regress
 // against the decoded baseline while holding >= 3x less posting memory.
+//
+// The open-time section builds a second corpus at `--open-scale`x (10x
+// by default) the article count and times three ways of opening its
+// index file: "copy" (prefer_mmap off — the full read+scrub path every
+// pre-mmap release paid), "verify" (mmap plus the integrity scrub, what
+// `tix_cli verify` runs) and "trust" (mmap with verify_on_open off,
+// what a tixd restart runs). Query results on the trust-opened index
+// are compared element-for-element against the copy-opened one before
+// any timing counts, and the bench self-gates on trust-open being at
+// least 5x faster than copy-open.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -29,6 +40,7 @@
 #include "index/block_cache.h"
 #include "index/block_cursor.h"
 #include "index/inverted_index.h"
+#include "storage/mapped_file.h"
 
 namespace {
 
@@ -40,6 +52,17 @@ struct Cell {
   uint64_t blocks_decoded_cold = 0;
   uint64_t cache_hits_warm = 0;
   size_t results = 0;
+};
+
+struct OpenCell {
+  const char* mode = "";
+  bool prefer_mmap = false;
+  bool verify = false;
+  double seconds = 0;
+  uint64_t bytes_read = 0;    // copied through read(2)
+  uint64_t bytes_mapped = 0;  // served from the mapping
+  uint64_t resident_bytes = 0;
+  uint64_t mapped_bytes = 0;
 };
 
 }  // namespace
@@ -254,6 +277,127 @@ int main(int argc, char** argv) {
   std::printf("warm TermJoin vs decoded baseline: %s\n",
               wall_clock_ok ? "no regression" : "REGRESSION");
 
+  // ------------------------------------------------------------ open time
+  // A larger corpus so the copy path's O(bytes) cost is visible: opening
+  // is what a tixd restart or a per-invocation tix_cli pays before the
+  // first query can run.
+  const uint64_t open_scale = flags.GetInt("open-scale", 10);
+  const uint64_t open_articles = articles * open_scale;
+  const std::string open_dir = dir + "_open" + std::to_string(open_scale) + "x";
+  auto open_env_result =
+      GetOrBuildBenchEnv(open_dir, open_articles, flags.GetInt("seed", 42));
+  if (!open_env_result.ok()) {
+    std::fprintf(stderr, "%s\n", open_env_result.status().ToString().c_str());
+    return 1;
+  }
+  BenchEnv open_env = std::move(open_env_result).value();
+  open_env.index.reset();  // only the on-disk file matters here
+  const std::string open_path = open_dir + "/index.tix";
+  const uint64_t open_file_bytes = std::filesystem::file_size(open_path);
+
+  std::vector<OpenCell> open_cells = {
+      {"copy", /*prefer_mmap=*/false, /*verify=*/true},
+      {"verify", /*prefer_mmap=*/true, /*verify=*/true},
+      {"trust", /*prefer_mmap=*/true, /*verify=*/false},
+  };
+  std::printf(
+      "\nindex open, %llux corpus (%llu articles, %.1f MB index file)\n",
+      static_cast<unsigned long long>(open_scale),
+      static_cast<unsigned long long>(open_articles),
+      static_cast<double>(open_file_bytes) / 1e6);
+  std::printf("%8s | %10s | %12s %12s | %12s %12s\n", "mode", "open(ms)",
+              "read bytes", "mmap bytes", "resident", "mapped");
+  PrintRule(78);
+  tix::storage::IoCounters& io = tix::storage::GlobalIoCounters();
+  for (OpenCell& cell : open_cells) {
+    tix::index::IndexLoadOptions load;
+    load.prefer_mmap = cell.prefer_mmap;
+    load.verify_on_open = cell.verify;
+
+    // One instrumented open for the IO mix and residency...
+    const uint64_t read0 = io.bytes_read.load();
+    const uint64_t map0 = io.bytes_mapped.load();
+    auto probe = tix::index::InvertedIndex::LoadFromFile(open_path, load);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s open failed: %s\n", cell.mode,
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    cell.bytes_read = io.bytes_read.load() - read0;
+    cell.bytes_mapped = io.bytes_mapped.load() - map0;
+    const tix::index::IndexResidency residency = probe.value().MemoryUsage();
+    cell.resident_bytes = residency.total_bytes();
+    cell.mapped_bytes = residency.mapped_bytes;
+
+    // ...then timed opens (the probe doubles as a page-cache warmer, so
+    // every mode measures parse cost, not first-touch disk latency).
+    cell.seconds = Measure(
+        [&]() -> tix::Status {
+          TIX_ASSIGN_OR_RETURN(
+              auto opened,
+              tix::index::InvertedIndex::LoadFromFile(open_path, load));
+          (void)opened;
+          return tix::Status();
+        },
+        runs);
+    std::printf("%8s | %10.2f | %12llu %12llu | %12llu %12llu\n", cell.mode,
+                cell.seconds * 1e3,
+                static_cast<unsigned long long>(cell.bytes_read),
+                static_cast<unsigned long long>(cell.bytes_mapped),
+                static_cast<unsigned long long>(cell.resident_bytes),
+                static_cast<unsigned long long>(cell.mapped_bytes));
+  }
+
+  // Correctness gate on the large corpus: the trust-mode open must
+  // answer queries byte-for-byte like the scrubbed copy open.
+  bool open_identical = true;
+  {
+    tix::index::IndexLoadOptions copy_load;
+    copy_load.prefer_mmap = false;
+    auto copied = tix::index::InvertedIndex::LoadFromFile(open_path, copy_load);
+    tix::index::IndexLoadOptions trust_load;
+    trust_load.verify_on_open = false;
+    auto trusted =
+        tix::index::InvertedIndex::LoadFromFile(open_path, trust_load);
+    if (!copied.ok() || !trusted.ok()) {
+      std::fprintf(stderr, "open for equivalence check failed\n");
+      return 1;
+    }
+    for (const uint64_t freq : freqs) {
+      const tix::algebra::IrPredicate predicate =
+          TwoTermPredicate(Table1Term(1, freq), Table1Term(2, freq));
+      const tix::algebra::WeightedCountScorer scorer(predicate.Weights());
+      tix::exec::TermJoin copy_join(open_env.db.get(), &copied.value(),
+                                    &predicate, &scorer);
+      tix::exec::TermJoin trust_join(open_env.db.get(), &trusted.value(),
+                                     &predicate, &scorer);
+      auto expected = copy_join.Run();
+      auto got = trust_join.Run();
+      if (!expected.ok() || !got.ok() ||
+          got.value().size() != expected.value().size()) {
+        open_identical = false;
+        break;
+      }
+      for (size_t i = 0; i < expected.value().size(); ++i) {
+        if (!(got.value()[i] == expected.value()[i])) {
+          open_identical = false;
+          break;
+        }
+      }
+      if (!open_identical) break;
+    }
+  }
+
+  const double copy_seconds = open_cells[0].seconds;
+  const double trust_seconds = open_cells[2].seconds;
+  const double open_speedup =
+      trust_seconds > 0 ? copy_seconds / trust_seconds : 0.0;
+  const bool open_ok = open_identical && open_speedup >= 5.0;
+  std::printf("trust vs copy open: %.1fx (gate: >= 5x) %s\n", open_speedup,
+              open_speedup >= 5.0 ? "OK" : "FAIL");
+  std::printf("trust vs copy query results: %s\n",
+              open_identical ? "identical" : "MISMATCH");
+
   std::FILE* file = std::fopen(out.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -320,8 +464,39 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cell.cache_hits_warm),
         i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(file, "  ]\n}\n");
+  std::fprintf(file,
+               "  ],\n"
+               "  \"open\": {\n"
+               "    \"scale\": %llu,\n"
+               "    \"articles\": %llu,\n"
+               "    \"index_file_bytes\": %llu,\n"
+               "    \"modes\": [\n",
+               static_cast<unsigned long long>(open_scale),
+               static_cast<unsigned long long>(open_articles),
+               static_cast<unsigned long long>(open_file_bytes));
+  for (size_t i = 0; i < open_cells.size(); ++i) {
+    const OpenCell& cell = open_cells[i];
+    std::fprintf(file,
+                 "      {\"mode\": \"%s\", \"open_ms\": %.3f,\n"
+                 "       \"bytes_read\": %llu, \"bytes_mapped\": %llu,\n"
+                 "       \"resident_bytes\": %llu, \"mapped_bytes\": %llu}%s\n",
+                 cell.mode, cell.seconds * 1e3,
+                 static_cast<unsigned long long>(cell.bytes_read),
+                 static_cast<unsigned long long>(cell.bytes_mapped),
+                 static_cast<unsigned long long>(cell.resident_bytes),
+                 static_cast<unsigned long long>(cell.mapped_bytes),
+                 i + 1 < open_cells.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "    ],\n"
+               "    \"trust_vs_copy_speedup\": %.4f,\n"
+               "    \"query_results_identical\": %s,\n"
+               "    \"speedup_gate_5x\": %s\n"
+               "  }\n"
+               "}\n",
+               open_speedup, open_identical ? "true" : "false",
+               open_speedup >= 5.0 ? "true" : "false");
   std::fclose(file);
   std::printf("\nwrote %s\n", out.c_str());
-  return reduction >= 3.0 ? 0 : 1;
+  return (reduction >= 3.0 && open_ok) ? 0 : 1;
 }

@@ -14,13 +14,18 @@
 # index under churn: queries pinning snapshots while ingestion, sealing
 # and background compaction publish new generations, plus the
 # ingest/compact equivalence fuzz and the manifest corruption sweep.
+# mmap_index_test covers the mapped read path: trust-mode opens served
+# straight from mmap (every posting byte it touches is mapped memory,
+# so ASan/UBSan sees any out-of-mapping read) and the truncation
+# fail-closed sweep; storage_test's concurrent AtomicWriteFile race is
+# TSan's view of the unique-tmp rename protocol.
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test thread_pool_test server_test segment_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|thread_pool_test|server_test|segment_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test mmap_index_test thread_pool_test server_test segment_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|mmap_index_test|thread_pool_test|server_test|segment_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -43,6 +43,10 @@ void DecodedBlockCache::Configure(size_t capacity_bytes) {
 
 DecodedBlockHandle DecodedBlockCache::Lookup(uint64_t list_id,
                                              uint32_t block) {
+  // Id 0 is the "never cached" sentinel (see NextListId): a list whose
+  // id was reset — e.g. by the decode_postings expansion — must never
+  // read another list's entries, so reject the lookup outright.
+  if (list_id == 0) return nullptr;
   const Key key{list_id, block};
   Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
@@ -58,6 +62,7 @@ DecodedBlockHandle DecodedBlockCache::Lookup(uint64_t list_id,
 
 DecodedBlockHandle DecodedBlockCache::Insert(uint64_t list_id, uint32_t block,
                                              DecodedBlockHandle data) {
+  if (list_id == 0) return data;  // sentinel id: pass through unstored
   if (capacity_bytes_.load(std::memory_order_relaxed) / kNumShards <
       kEntryChargeBytes) {
     return data;  // cache disabled (or too small for one entry per shard)

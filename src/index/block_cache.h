@@ -58,7 +58,10 @@ class DecodedBlockCache {
 
   /// Mints a fresh list id for PostingList::cache_id. Never reused, so
   /// entries of a destroyed index age out of the LRU naturally instead
-  /// of needing a purge hook.
+  /// of needing a purge hook. Id 0 is never minted: it is the "never
+  /// cached" sentinel carried by default-constructed and decoded lists,
+  /// and the cache rejects it (Lookup misses, Insert passes through
+  /// unstored) so a reset list cannot alias another list's entries.
   static uint64_t NextListId();
 
   /// Sets the capacity, evicting LRU entries if it shrank. Equal

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <fstream>
-#include <sstream>
+#include <memory>
 #include <type_traits>
 
 #include "common/block_codec.h"
@@ -13,6 +12,7 @@
 #include "common/varint.h"
 #include "index/block_cache.h"
 #include "storage/file_manager.h"
+#include "storage/mapped_file.h"
 
 namespace tix::index {
 
@@ -101,6 +101,8 @@ void PostingList::Compress() {
     skips[b].byte_offset = static_cast<uint32_t>(blocks.size());
     codec::EncodeBlockTail(AsTriples(postings.data() + begin), count,
                            &blocks);
+    skips[b].byte_length =
+        static_cast<uint32_t>(blocks.size()) - skips[b].byte_offset;
   }
   blocks.shrink_to_fit();
   num_encoded = static_cast<uint32_t>(postings.size());
@@ -114,16 +116,15 @@ Status PostingList::DecodeBlock(uint32_t block, Posting* out) const {
     return Status::Corruption("posting block index out of range");
   }
   const SkipEntry& head = skips[block];
+  const std::string_view bytes = block_bytes();
   const size_t begin = head.byte_offset;
-  const size_t end =
-      block + 1 < skips.size() ? skips[block + 1].byte_offset : blocks.size();
-  if (begin > end || end > blocks.size()) {
-    return Status::Corruption("posting block: byte offsets out of order");
+  const size_t end = begin + head.byte_length;
+  if (end > bytes.size()) {
+    return Status::Corruption("posting block: byte range out of bounds");
   }
   out[0] = Posting{head.doc_id, head.first_node, head.word_pos};
-  return codec::DecodeBlockTail(
-      std::string_view(blocks).substr(begin, end - begin),
-      BlockPostingCount(block), AsTriples(out));
+  return codec::DecodeBlockTail(bytes.substr(begin, head.byte_length),
+                                BlockPostingCount(block), AsTriples(out));
 }
 
 Status PostingList::FinishCompressed() {
@@ -131,7 +132,7 @@ Status PostingList::FinishCompressed() {
   doc_offsets.clear();
   max_doc_count = 0;
   if (num_encoded == 0) {
-    if (!skips.empty() || !blocks.empty()) {
+    if (!skips.empty() || !block_bytes().empty()) {
       return Status::Corruption(
           "posting list: empty list with block payload");
     }
@@ -224,9 +225,27 @@ std::vector<Posting> PostingList::DecodeAll() const {
 }
 
 size_t PostingList::PostingBytes() const {
-  return is_compressed() ? blocks.capacity()
-                         : postings.capacity() * sizeof(Posting);
+  if (!is_compressed()) return postings.capacity() * sizeof(Posting);
+  // Mapped bytes are file-backed, not heap-resident; IndexResidency
+  // reports them separately as mapped_bytes.
+  return is_mapped() ? 0 : blocks.capacity();
 }
+
+namespace {
+
+/// Random access to one posting of a compressed list, decoding exactly
+/// the covering block into a stack buffer. Only the lazy trust-mode
+/// seek paths use this; hot block iteration stays on BlockCursor and
+/// the DecodedBlockCache.
+Posting PostingAt(const PostingList& list, size_t index) {
+  const uint32_t block = static_cast<uint32_t>(index / kSkipInterval);
+  Posting buffer[kSkipInterval];
+  const Status status = list.DecodeBlock(block, buffer);
+  TIX_CHECK(status.ok()) << status.ToString();
+  return buffer[index % kSkipInterval];
+}
+
+}  // namespace
 
 size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
   if (doc == 0 || empty()) return 0;
@@ -237,9 +256,32 @@ size_t PostingList::LowerBoundDoc(storage::DocId doc) const {
            storage::DocId target) { return entry.first < target; });
     return it == doc_offsets.end() ? size() : it->second;
   }
+  if (is_compressed()) {
+    // Trust-mode open: doc_offsets were never derived. The skip
+    // directory narrows the target to one block (the last block whose
+    // first doc is before `doc` — every earlier block is entirely
+    // before it, every later one entirely at-or-after); decode just
+    // that block and search inside it.
+    const auto it = std::partition_point(
+        skips.begin(), skips.end(),
+        [doc](const SkipEntry& entry) { return entry.doc_id < doc; });
+    if (it == skips.begin()) return 0;
+    const uint32_t block =
+        static_cast<uint32_t>(it - skips.begin()) - 1;
+    Posting buffer[kSkipInterval];
+    const Status status = DecodeBlock(block, buffer);
+    TIX_CHECK(status.ok()) << status.ToString();
+    const uint32_t count = BlockPostingCount(block);
+    const auto pos = std::lower_bound(
+        buffer, buffer + count, doc,
+        [](const Posting& posting, storage::DocId target) {
+          return posting.doc_id < target;
+        });
+    return size_t{block} * kSkipInterval +
+           static_cast<size_t>(pos - buffer);
+  }
   // Acceleration structures not built (hand-assembled decoded list):
-  // binary search the postings directly. Compressed lists always carry
-  // doc_offsets, so this branch never decodes.
+  // binary search the postings directly.
   const auto it = std::lower_bound(
       postings.begin(), postings.end(), doc,
       [](const Posting& posting, storage::DocId target) {
@@ -262,6 +304,10 @@ uint32_t PostingList::DocPostingCount(storage::DocId doc) const {
     return next - it->second;
   }
   const size_t lo = LowerBoundDoc(doc);
+  if (is_compressed()) {
+    if (lo >= num_encoded || PostingAt(*this, lo).doc_id != doc) return 0;
+    return static_cast<uint32_t>(LowerBoundDoc(doc + 1) - lo);
+  }
   if (lo >= postings.size() || postings[lo].doc_id != doc) return 0;
   return static_cast<uint32_t>(LowerBoundDoc(doc + 1) - lo);
 }
@@ -276,6 +322,9 @@ storage::DocId PostingList::FirstDocAtOrAfter(storage::DocId doc) const {
     return it == doc_offsets.end() ? UINT32_MAX : it->first;
   }
   const size_t pos = LowerBoundDoc(doc);
+  if (is_compressed()) {
+    return pos < num_encoded ? PostingAt(*this, pos).doc_id : UINT32_MAX;
+  }
   return pos < postings.size() ? postings[pos].doc_id : UINT32_MAX;
 }
 
@@ -559,6 +608,10 @@ IndexResidency InvertedIndex::MemoryUsage() const {
     out.num_postings += list.size();
     if (list.is_compressed()) {
       ++out.compressed_lists;
+      if (list.is_mapped()) {
+        out.mapped_bytes += list.mapped_blocks.size();
+        ++out.mapped_lists;
+      }
     } else if (!list.postings.empty()) {
       ++out.decoded_lists;
     }
@@ -588,18 +641,14 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
     PutVarint64(&blob, list.node_frequency);
     if (list.is_compressed()) {
       // The in-memory block encoding *is* the wire encoding: copy the
-      // tails verbatim.
-      for (size_t b = 0; b < list.skips.size(); ++b) {
-        const SkipEntry& head = list.skips[b];
-        const size_t begin = head.byte_offset;
-        const size_t end = b + 1 < list.skips.size()
-                               ? list.skips[b + 1].byte_offset
-                               : list.blocks.size();
+      // tails verbatim (from the owned buffer or the mapping alike).
+      const std::string_view bytes = list.block_bytes();
+      for (const SkipEntry& head : list.skips) {
         PutVarint32(&blob, head.doc_id);
         PutVarint32(&blob, head.first_node);
         PutVarint32(&blob, head.word_pos);
-        PutVarint64(&blob, end - begin);
-        blob.append(list.blocks, begin, end - begin);
+        PutVarint64(&blob, head.byte_length);
+        blob.append(bytes.substr(head.byte_offset, head.byte_length));
       }
     } else {
       for (size_t begin = 0; begin < list.postings.size();
@@ -628,12 +677,30 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
 
 Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
                                                   IndexLoadOptions options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open index file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string blob_storage = buffer.str();
-  std::string_view blob(blob_storage);
+  // Map the file and sniff the version first: a v3 index is served
+  // straight from the mapping, so open never read()s the posting bytes
+  // at all. Legacy formats, decoded loads, and mmap failures fall back
+  // to one exactly-sized read into an owned buffer (never the old
+  // stream-into-ostringstream double buffer, which peaked at 2x the
+  // file size).
+  std::shared_ptr<storage::MappedFile> mapping;
+  if (!options.decode_postings && options.prefer_mmap) {
+    Result<std::shared_ptr<storage::MappedFile>> mapped =
+        storage::MappedFile::Open(path);
+    if (mapped.ok()) {
+      std::string_view sniff = (*mapped)->data();
+      const Result<uint64_t> sniffed_magic = GetVarint64(&sniff);
+      if (sniffed_magic.ok() && *sniffed_magic == kIndexMagic) {
+        mapping = std::move(*mapped);
+      }
+    }
+  }
+  std::string owned;
+  if (mapping == nullptr) {
+    TIX_ASSIGN_OR_RETURN(owned, storage::ReadFileToString(path));
+  }
+  std::string_view blob =
+      mapping == nullptr ? std::string_view(owned) : mapping->data();
 
   InvertedIndex out;
   TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
@@ -705,14 +772,18 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
     list.doc_frequency = static_cast<uint32_t>(df);
     list.node_frequency = static_cast<uint32_t>(nf);
     if (magic == kIndexMagic) {
-      // Version 3: copy the block directory and tails verbatim — no
-      // posting materialization.
+      // Version 3: the in-memory block encoding is the wire encoding.
+      // Mapped open records views into the file (byte offsets relative
+      // to this list's own region, skipping over the interleaved head
+      // varints); the copy fallback appends the tails into an owned
+      // buffer. Neither materializes a posting.
       const uint32_t nblocks =
           count == 0
               ? 0
               : static_cast<uint32_t>((count + kSkipInterval - 1) /
                                       kSkipInterval);
       list.skips.reserve(nblocks);
+      const char* const list_base = blob.data();
       for (uint32_t b = 0; b < nblocks; ++b) {
         TIX_ASSIGN_OR_RETURN(const uint32_t first_doc, GetVarint32(&blob));
         TIX_ASSIGN_OR_RETURN(const uint32_t first_node, GetVarint32(&blob));
@@ -722,17 +793,31 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
           return Status::Corruption("index list " + std::to_string(i) +
                                     ": block tail exceeds blob size");
         }
+        const size_t tail_offset =
+            mapping != nullptr
+                ? static_cast<size_t>(blob.data() - list_base)
+                : list.blocks.size();
+        if (tail_offset > UINT32_MAX || tail_bytes > UINT32_MAX) {
+          return Status::Corruption("index list " + std::to_string(i) +
+                                    ": byte region exceeds 4 GiB");
+        }
         list.skips.push_back(SkipEntry{first_doc, first_pos,
                                        b * kSkipInterval, 0, first_node,
-                                       static_cast<uint32_t>(
-                                           list.blocks.size())});
-        list.blocks.append(blob.data(), tail_bytes);
+                                       static_cast<uint32_t>(tail_offset),
+                                       static_cast<uint32_t>(tail_bytes)});
+        if (mapping == nullptr) list.blocks.append(blob.data(), tail_bytes);
         blob.remove_prefix(tail_bytes);
       }
-      // Incremental append grows capacity geometrically (up to ~2x the
-      // final size); drop the slack — these bytes stay resident for the
-      // index's whole lifetime and are what MemoryUsage() reports.
-      list.blocks.shrink_to_fit();
+      if (mapping != nullptr) {
+        list.mapped_blocks = std::string_view(
+            list_base, static_cast<size_t>(blob.data() - list_base));
+      } else {
+        // Incremental append grows capacity geometrically (up to ~2x
+        // the final size); drop the slack — these bytes stay resident
+        // for the index's whole lifetime and are what MemoryUsage()
+        // reports.
+        list.blocks.shrink_to_fit();
+      }
       list.num_encoded = static_cast<uint32_t>(count);
     } else if (!options.decode_postings) {
       // Versions 1/2 store flat delta-coded postings; transcode through
@@ -757,10 +842,13 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
         prev_pos += pos_delta;
         window[fill++] = Posting{prev_doc, prev_node, prev_pos};
         if (fill == kSkipInterval || j + 1 == count) {
-          list.skips.push_back(SkipEntry{
-              window[0].doc_id, window[0].word_pos, block_base, 0,
-              window[0].node_id, static_cast<uint32_t>(list.blocks.size())});
+          SkipEntry entry{window[0].doc_id, window[0].word_pos, block_base,
+                          0, window[0].node_id,
+                          static_cast<uint32_t>(list.blocks.size())};
           codec::EncodeBlockTail(AsTriples(window), fill, &list.blocks);
+          entry.byte_length =
+              static_cast<uint32_t>(list.blocks.size()) - entry.byte_offset;
+          list.skips.push_back(entry);
           block_base += static_cast<uint32_t>(fill);
           fill = 0;
         }
@@ -800,11 +888,30 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
                               std::to_string(blob.size()) +
                               " trailing bytes");
   }
+  // Legacy formats always take the scrub: the transcode above decoded
+  // every posting anyway, so validation is nearly free there. Only a v3
+  // open has an O(bytes) scrub worth skipping.
+  const bool verify = options.verify_on_open || options.decode_postings ||
+                      out.format_version_ < 3;
   for (PostingList& list : out.lists_) {
     if (list.is_compressed() || (list.postings.empty() &&
                                  list.num_encoded == 0 &&
                                  !options.decode_postings)) {
-      TIX_RETURN_IF_ERROR(list.FinishCompressed());
+      if (verify) {
+        TIX_RETURN_IF_ERROR(list.FinishCompressed());
+      } else if (list.num_encoded > 0) {
+        // Trust mode: no decode at open. doc_offsets stay empty (the
+        // seek paths decode single blocks lazily) and block-max bounds
+        // become the never-prune sentinel — UINT32_MAX is always a
+        // valid upper bound, whereas 0 would wrongly prune every block.
+        if (list.skips.size() != list.num_blocks()) {
+          return Status::Corruption(
+              "posting list: block directory size mismatch");
+        }
+        list.max_doc_count = UINT32_MAX;
+        for (SkipEntry& skip : list.skips) skip.max_doc_count = UINT32_MAX;
+        list.cache_id = DecodedBlockCache::NextListId();
+      }
       if (options.decode_postings) {
         // Validated above; now expand to the legacy representation and
         // drop the compressed one.
@@ -812,7 +919,11 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
         list.postings = std::move(decoded);
         list.blocks.clear();
         list.blocks.shrink_to_fit();
+        list.mapped_blocks = std::string_view();
         list.num_encoded = 0;
+        // 0 is the "never cached" sentinel: NextListId() never mints it
+        // and the DecodedBlockCache rejects it, so a decoded-then-reused
+        // list can never alias another list's cached blocks.
         list.cache_id = 0;
         list.skips.clear();
         list.doc_offsets.clear();
@@ -825,6 +936,7 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
       list.BuildSkips();
     }
   }
+  if (mapping != nullptr) out.mapping_ = std::move(mapping);
   return out;
 }
 

@@ -35,13 +35,21 @@
 ///       coded as (doc_delta, node_delta, pos_delta) — see
 ///       common/block_codec.h
 ///   varint num_documents, varint num_text_nodes
-/// Version 3 lists stay block-compressed in memory: LoadFromFile copies
-/// the block bytes verbatim (no posting materialization) and derives
-/// `doc_offsets` / block-max metadata with one streaming validation
-/// pass. Versions 1 and 2 (flat delta-coded postings, derived skips) are
-/// still read: their postings are transcoded into blocks through a
-/// 128-posting window, so even legacy loads never hold a full decoded
-/// vector.
+/// Version 3 lists stay block-compressed in memory — and, because the
+/// in-memory tail encoding is byte-identical to the on-disk one,
+/// LoadFromFile mmaps the file read-only and serves posting blocks
+/// straight from the mapping (no copy, no posting materialization; see
+/// storage/mapped_file.h). The streaming validation pass that derives
+/// `doc_offsets` / block-max metadata is optional
+/// (IndexLoadOptions::verify_on_open); skipping it makes open O(lists)
+/// instead of O(bytes). Versions 1 and 2 (flat delta-coded postings,
+/// derived skips) are still read: their postings are transcoded into
+/// owned blocks through a 128-posting window, so even legacy loads
+/// never hold a full decoded vector.
+
+namespace tix::storage {
+class MappedFile;
+}  // namespace tix::storage
 
 namespace tix::index {
 
@@ -85,9 +93,15 @@ struct SkipEntry {
   /// decoded lists.
   storage::NodeId first_node = 0;
   /// Block-compressed lists only: byte offset of the block's tail in
-  /// PostingList::blocks (the tail length is the next block's offset, or
-  /// the end of `blocks` for the last one).
+  /// PostingList::block_bytes(). Offsets are relative to the list's own
+  /// byte region, never to the containing file.
   uint32_t byte_offset = 0;
+  /// Block-compressed lists only: length of the block's tail in bytes.
+  /// Owned `blocks` strings pack tails back to back, but a list mapped
+  /// straight from a v3 file keeps the on-disk layout, where the next
+  /// block's head varints sit between the tails — so the tail length
+  /// must be stored explicitly instead of derived from the next offset.
+  uint32_t byte_length = 0;
 };
 
 /// All occurrences of one term plus its collection statistics.
@@ -115,8 +129,17 @@ struct PostingList {
   uint32_t node_frequency = 0;
 
   /// Block-compressed representation: concatenated block tails (see
-  /// common/block_codec.h). Meaningful only when `is_compressed()`.
+  /// common/block_codec.h). Meaningful only when `is_compressed()` and
+  /// the list owns its bytes; a mapped list leaves this empty and reads
+  /// through `mapped_blocks` instead.
   std::string blocks;
+  /// Non-owning view of the list's byte region inside a MappedFile (the
+  /// InvertedIndex holds the mapping reference; views stay valid for the
+  /// index's lifetime). The region is the on-disk list layout, so block
+  /// tails are addressed by SkipEntry::{byte_offset, byte_length} and
+  /// the interleaved head varints are simply skipped over. Empty data()
+  /// means the list owns its bytes in `blocks`.
+  std::string_view mapped_blocks;
   /// Posting count of the compressed representation.
   uint32_t num_encoded = 0;
   /// Process-unique identity in the DecodedBlockCache (0 = never
@@ -135,6 +158,15 @@ struct PostingList {
   uint32_t max_doc_count = 0;
 
   bool is_compressed() const { return postings.empty() && num_encoded > 0; }
+  /// True when the compressed bytes live in a memory-mapped file rather
+  /// than an owned buffer.
+  bool is_mapped() const { return mapped_blocks.data() != nullptr; }
+  /// The compressed byte region, wherever it lives. All block decoding
+  /// goes through this accessor so owned and mapped lists share one
+  /// code path.
+  std::string_view block_bytes() const {
+    return is_mapped() ? mapped_blocks : std::string_view(blocks);
+  }
   size_t size() const {
     return postings.empty() ? num_encoded : postings.size();
   }
@@ -183,7 +215,9 @@ struct PostingList {
   size_t PostingBytes() const;
 
   /// Index of the first posting with doc_id >= doc. Uses `doc_offsets`
-  /// when built, else binary-searches the postings directly.
+  /// when built; on a compressed list without them (trust-mode open)
+  /// the skip directory narrows the target to one block, which is
+  /// decoded on the spot; else binary-searches the postings directly.
   size_t LowerBoundDoc(storage::DocId doc) const;
 
   /// First index >= `from` whose posting is at or beyond
@@ -200,7 +234,8 @@ struct PostingList {
 
   /// Smallest doc id >= `doc` with at least one posting, or UINT32_MAX
   /// when none. Pure metadata on lists with doc_offsets — never decodes
-  /// a block (the top-K oracle's candidate hop).
+  /// a block (the top-K oracle's candidate hop). Trust-mode lists
+  /// decode at most two blocks.
   storage::DocId FirstDocAtOrAfter(storage::DocId doc) const;
 
   /// Upper bound on the per-document posting count for every document in
@@ -237,14 +272,19 @@ struct IndexStats {
 
 /// Resident-memory breakdown of an index (tix_cli stats, bench_index).
 struct IndexResidency {
-  /// Posting storage: decoded vectors plus compressed block bytes.
+  /// Posting storage: decoded vectors plus *owned* compressed block
+  /// bytes. Mapped block bytes are excluded — they are file-backed
+  /// pages the OS can drop, not heap — and reported in `mapped_bytes`.
   uint64_t postings_bytes = 0;
   /// Skip entries (block directory + block-max metadata).
   uint64_t skip_bytes = 0;
   /// Per-document boundary offsets.
   uint64_t doc_offset_bytes = 0;
+  /// Block bytes served from a read-only mmap (see storage/mapped_file.h).
+  uint64_t mapped_bytes = 0;
   uint64_t num_postings = 0;
   uint64_t compressed_lists = 0;
+  uint64_t mapped_lists = 0;   ///< Compressed lists backed by a mapping.
   uint64_t decoded_lists = 0;  ///< Non-empty lists in decoded form.
 
   uint64_t total_bytes() const {
@@ -264,7 +304,24 @@ struct IndexLoadOptions {
   /// Decode every list into the legacy std::vector<Posting>
   /// representation instead of keeping blocks compressed. The
   /// equivalence baseline in tests; production loads leave this off.
+  /// Implies a full validation pass and disables mmap (decoded lists
+  /// own their postings outright).
   bool decode_postings = false;
+  /// Run the streaming scrub (FinishCompressed) on every list at open:
+  /// validates block framing and posting order and derives doc_offsets
+  /// plus block-max metadata — an O(bytes) decode of the whole index.
+  /// When off ("trust mode": tixd restart of an index it just sealed),
+  /// open cost is O(lists): headers and the block directory are parsed,
+  /// blocks are mapped but never decoded, doc_offsets stay empty (seek
+  /// paths lazily decode single blocks instead) and block-max bounds
+  /// degrade to the never-prune sentinel UINT32_MAX, so query results
+  /// are byte-identical either way. `tix_cli verify` forces this on.
+  bool verify_on_open = true;
+  /// Map v3 files read-only and decode in place instead of copying the
+  /// block bytes into owned buffers. Benches turn this off to measure
+  /// the copy-load baseline; mmap failure falls back to copying
+  /// automatically.
+  bool prefer_mmap = true;
 };
 
 /// Memory-resident inverted index with on-disk persistence (delta +
@@ -286,6 +343,7 @@ class InvertedIndex {
     if (this != &other) {
       dictionary_ = std::move(other.dictionary_);
       lists_ = std::move(other.lists_);
+      mapping_ = std::move(other.mapping_);
       stats_ = other.stats_;
       tokenizer_options_ = other.tokenizer_options_;
       format_version_ = other.format_version_;
@@ -295,6 +353,7 @@ class InvertedIndex {
       // everything explicitly so the source is truly empty.
       other.dictionary_ = text::TermDictionary();
       other.lists_.clear();
+      other.mapping_.reset();
       other.stats_ = IndexStats();
       other.tokenizer_options_ = text::TokenizerOptions();
       other.format_version_ = kCurrentFormatVersion;
@@ -376,9 +435,19 @@ class InvertedIndex {
   static Result<InvertedIndex> LoadFromFile(const std::string& path,
                                             IndexLoadOptions options = {});
 
+  /// The read-only mapping backing this index's posting blocks, or null
+  /// when every list owns its bytes (built in memory, legacy transcode,
+  /// or mmap fallback). Compaction uses this to defer unlinking a
+  /// replaced segment file until the last pinned snapshot drops the
+  /// final reference (MappedFile::set_unlink_on_close).
+  const std::shared_ptr<storage::MappedFile>& mapping() const {
+    return mapping_;
+  }
+
  private:
   text::TermDictionary dictionary_;
   std::vector<PostingList> lists_;  // indexed by TermId
+  std::shared_ptr<storage::MappedFile> mapping_;
   IndexStats stats_;
   text::TokenizerOptions tokenizer_options_;
   int format_version_ = kCurrentFormatVersion;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "storage/mapped_file.h"
 
 namespace tix::index {
 
@@ -407,9 +408,21 @@ Status SegmentedIndex::Compact() {
     std::lock_guard<std::mutex> lock(mu_);
     TIX_CHECK_GE(sealed_.size(), inputs.size());
     for (const std::shared_ptr<const Segment>& segment : inputs) {
-      if (segment->info().file != "index.tix") {
+      if (segment->info().file == "index.tix") {
         // Never unlink the adopted monolithic file: legacy tooling (and
         // a mid-migration rollback) may still expect it.
+        continue;
+      }
+      if (segment->index().mapping() != nullptr) {
+        // The segment serves postings straight from an mmap of its
+        // file. Pinned snapshots still hold the segment (and therefore
+        // the mapping), so defer the unlink: the file is removed by the
+        // destructor of the last MappedFile reference, exactly when the
+        // final snapshot unpins it.
+        segment->index().mapping()->set_unlink_on_close();
+      } else {
+        // Owned bytes (sealed this process lifetime, or mmap fallback):
+        // nothing reads the file anymore, unlink it eagerly.
         obsolete_files.push_back(dir_ + "/" + segment->info().file);
       }
     }

@@ -13,6 +13,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "storage/fault.h"
+#include "storage/mapped_file.h"
 
 namespace tix::storage {
 
@@ -302,7 +303,15 @@ Status SyncDirectory(const std::string& dir) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp";
+  // The staging name must be unique per writer: with a fixed `path +
+  // ".tmp"`, two concurrent savers interleave open/write/rename on the
+  // same file and can publish a torn mix of both payloads. pid + a
+  // process-local sequence makes collisions impossible across processes
+  // and threads alike.
+  static std::atomic<uint64_t> g_tmp_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(g_tmp_seq.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("create", tmp));
   size_t total = 0;
@@ -335,6 +344,36 @@ Status AtomicWriteFile(const std::string& path, std::string_view data) {
   const size_t slash = path.find_last_of('/');
   return SyncDirectory(slash == std::string::npos ? "."
                                                   : path.substr(0, slash));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("stat", path));
+    ::close(fd);
+    return status;
+  }
+  std::string out;
+  out.resize(static_cast<size_t>(st.st_size));
+  size_t total = 0;
+  while (total < out.size()) {
+    const ssize_t n =
+        ::read(fd, out.data() + total, out.size() - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(ErrnoMessage("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;  // concurrently truncated; return what exists
+    total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out.resize(total);
+  GlobalIoCounters().bytes_read.fetch_add(total, std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace tix::storage

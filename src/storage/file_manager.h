@@ -113,10 +113,20 @@ class PagedFile {
 /// durable.
 Status SyncDirectory(const std::string& dir);
 
-/// Durably replaces `path` with `data`: writes `path`.tmp, fsyncs it,
-/// renames it over `path`, then fsyncs the containing directory. Readers
-/// see either the old or the new content, never a torn mix.
+/// Durably replaces `path` with `data`: writes a temporary file next to
+/// `path`, fsyncs it, renames it over `path`, then fsyncs the containing
+/// directory. Readers see either the old or the new content, never a
+/// torn mix. The temporary name is unique per writer
+/// (`path`.tmp.<pid>.<seq>), so concurrent savers — e.g. a `tix_cli`
+/// run against a directory a live `tixd` is sealing into — cannot
+/// clobber each other's staging file and rename a torn mix; the rename
+/// step makes the last completed writer win whole-file atomically.
 Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// Reads the whole file at `path` into a string with one sized read —
+/// no stream double-buffering, so peak memory is the file size, not 2x.
+/// Bumps IoCounters::bytes_read (see storage/mapped_file.h).
+Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace tix::storage
 

@@ -1,0 +1,67 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tix::storage {
+
+IoCounters& GlobalIoCounters() {
+  static IoCounters* const counters = new IoCounters();
+  return *counters;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  if (unlink_on_close()) {
+    ::unlink(path_.c_str());
+  }
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for mapping '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError("stat '" + path +
+                                          "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("not a regular file, cannot map: '" + path + "'");
+  }
+  std::shared_ptr<MappedFile> file(new MappedFile());
+  file->path_ = path;
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* data =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      const Status status = Status::IOError("mmap '" + path +
+                                            "': " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    file->data_ = static_cast<const char*>(data);
+  }
+  // The mapping outlives the descriptor; holding the fd open would only
+  // burn a descriptor per resident segment.
+  ::close(fd);
+  IoCounters& counters = GlobalIoCounters();
+  counters.bytes_mapped.fetch_add(file->size_, std::memory_order_relaxed);
+  counters.files_mapped.fetch_add(1, std::memory_order_relaxed);
+  return file;
+}
+
+}  // namespace tix::storage

@@ -361,6 +361,71 @@ TEST(SegmentedIndexTest, PinnedSnapshotSurvivesCompactionAndDeletes) {
   EXPECT_TRUE(fresh_engine.ExecuteText(query).status().IsNotFound());
 }
 
+// Compaction must not yank a memory-mapped segment file out from under
+// a pinned snapshot: the unlink is deferred to the destructor of the
+// last MappedFile reference (docs/INDEX.md "Mapping lifecycle"), i.e.
+// the moment the final snapshot lets go. Unmapped segments (sealed this
+// process lifetime) are unlinked eagerly as before.
+TEST(SegmentedIndexTest, PinnedSnapshotDefersSegmentUnlinkUntilRelease) {
+  TempDir dir;
+  index::SegmentedIndexOptions options;
+  options.seal_doc_count = 2;
+  {
+    auto db = MakeTestDatabase(dir.path(), 256);
+    auto segmented =
+        Unwrap(index::SegmentedIndex::Open(dir.path(), options));
+    std::mt19937_64 rng(21);
+    for (int i = 0; i < 4; ++i) {
+      auto parsed = Unwrap(
+          xml::ParseXml(MakeArticleXml(&rng), "d" + std::to_string(i)));
+      ExpectOk(segmented->Ingest(db.get(), Unwrap(db->AddDocument(parsed))));
+    }
+    ExpectOk(db->Save());
+    ExpectOk(segmented->Seal(db.get()));
+  }  // reopen below so the segments come back mmap-backed
+
+  auto db = Unwrap(storage::Database::Open(dir.path()));
+  auto segmented = Unwrap(index::SegmentedIndex::Open(dir.path(), options));
+  ExpectOk(segmented->Recover(db.get()));
+
+  // The segment files about to be compacted away (read the manifest
+  // before compaction rewrites it).
+  std::vector<std::string> segment_files;
+  for (const auto& info : Unwrap(index::LoadManifest(dir.path())).segments) {
+    segment_files.push_back(dir.path() + "/" + info.file);
+  }
+  ASSERT_GE(segment_files.size(), 2u);
+  for (const auto& file : segment_files) {
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+  }
+
+  auto pinned = segmented->Acquire();
+  const std::string query = EquivalenceQueries("d1")[2];
+  std::string before;
+  {
+    query::QueryEngine pinned_engine(db.get(), pinned);
+    before = RunQuery(&pinned_engine, query);
+  }
+
+  ExpectOk(segmented->Compact());
+
+  // The replaced files must still exist — the pinned snapshot serves
+  // postings straight out of their mappings.
+  for (const auto& file : segment_files) {
+    EXPECT_TRUE(std::filesystem::exists(file)) << file;
+  }
+  {
+    query::QueryEngine replay_engine(db.get(), pinned);
+    EXPECT_EQ(RunQuery(&replay_engine, query), before);
+  }
+
+  // Releasing the last pin unmaps — and only then unlinks.
+  pinned.reset();
+  for (const auto& file : segment_files) {
+    EXPECT_FALSE(std::filesystem::exists(file)) << file;
+  }
+}
+
 TEST(SegmentedIndexTest, RecoverReBuffersUnsealedDocuments) {
   TempDir dir;
   std::vector<LiveDoc> docs;

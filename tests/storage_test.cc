@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -467,6 +469,54 @@ TEST(DatabaseTest, RejectsEmptyDocument) {
   auto db = MakeTestDatabase(dir.path());
   xml::XmlDocument empty;
   EXPECT_TRUE(db->AddDocument(empty).status().IsInvalidArgument());
+}
+
+TEST(AtomicWriteFileTest, RoundTripsThroughReadFileToString) {
+  TempDir dir;
+  const std::string path = dir.path() + "/blob";
+  const std::string payload(100000, 'q');
+  ExpectOk(AtomicWriteFile(path, payload));
+  EXPECT_EQ(Unwrap(ReadFileToString(path)), payload);
+  EXPECT_TRUE(ReadFileToString(dir.path() + "/absent").status().IsIOError());
+}
+
+// Regression: AtomicWriteFile used a fixed "<path>.tmp" scratch name,
+// so two concurrent writers raced on the same tmp file — one renamed
+// the other's half-written bytes into place (or failed on the vanished
+// tmp). With per-writer unique tmp names the final file is always one
+// writer's complete payload and no scratch files are left behind.
+TEST(AtomicWriteFileTest, ConcurrentWritersNeverInterleaveOrLeakTmp) {
+  TempDir dir;
+  const std::string path = dir.path() + "/contested";
+  constexpr int kRounds = 200;
+  // Big enough that a write spans multiple syscalls' worth of bytes;
+  // distinct fill characters make any splice detectable.
+  const std::string a(64 * 1024, 'A');
+  const std::string b(64 * 1024, 'B');
+
+  std::thread writer_a([&] {
+    for (int i = 0; i < kRounds; ++i) ExpectOk(AtomicWriteFile(path, a));
+  });
+  std::thread writer_b([&] {
+    for (int i = 0; i < kRounds; ++i) ExpectOk(AtomicWriteFile(path, b));
+  });
+  writer_a.join();
+  writer_b.join();
+
+  const std::string final_bytes = Unwrap(ReadFileToString(path));
+  EXPECT_TRUE(final_bytes == a || final_bytes == b)
+      << "file is a splice of two writers (size=" << final_bytes.size()
+      << ")";
+
+  // No abandoned scratch files: the directory holds exactly the target.
+  std::vector<std::string> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    entries.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(entries.size(), 1u)
+      << (entries.empty() ? "target file missing"
+                          : "unexpected leftover: " + entries.back());
+  EXPECT_EQ(entries.front(), "contested");
 }
 
 }  // namespace

@@ -28,6 +28,11 @@
 // docs/INDEX.md); 0 disables it so every block access decodes. The
 // default is the built-in budget (16 MiB).
 //
+// --trust-index skips the O(bytes) validation scrub when opening an
+// index or segments (the mode tixd restarts use — see docs/INDEX.md).
+// Results are identical; open is O(lists) instead of O(bytes). The
+// `verify` command ignores the flag and always scrubs.
+//
 // --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
 // cardinalities and storage counters) after the results; --stats-json
 // prints only the plan tree as JSON (schema: docs/OBSERVABILITY.md).
@@ -82,6 +87,9 @@ struct Args {
   bool stats_json = false;
   bool no_checksums = false;
   bool no_pushdown = false;
+  /// Skip the O(bytes) validation scrub at index open (tixd-style trust
+  /// mode). `verify` ignores this — its whole job is the scrub.
+  bool trust_index = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -111,6 +119,8 @@ Args ParseArgs(int argc, char** argv) {
       args.no_checksums = true;
     } else if (arg == "--no-pushdown") {
       args.no_pushdown = true;
+    } else if (arg == "--trust-index") {
+      args.trust_index = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       std::exit(2);
@@ -142,6 +152,12 @@ tix::storage::DatabaseOptions DbOptions(const Args& args) {
   return options;
 }
 
+tix::index::IndexLoadOptions LoadOptions(const Args& args) {
+  tix::index::IndexLoadOptions options;
+  options.verify_on_open = !args.trust_index;
+  return options;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tix_cli <load|index|ingest|delete|compact|stats|terms|"
@@ -154,7 +170,10 @@ int Usage() {
 /// the previous process exited).
 std::unique_ptr<tix::index::SegmentedIndex> OpenSegmented(
     const Args& args, tix::storage::Database* db) {
-  auto segmented = Check(tix::index::SegmentedIndex::Open(args.db_dir));
+  tix::index::SegmentedIndexOptions options;
+  options.load = LoadOptions(args);
+  auto segmented =
+      Check(tix::index::SegmentedIndex::Open(args.db_dir, options));
   const tix::Status recovered = segmented->Recover(db);
   if (!recovered.ok()) Die(recovered);
   return segmented;
@@ -347,7 +366,7 @@ int CmdStats(const Args& args) {
       const bool is_buffer = info.file.empty();
       std::printf(
           "    %-18s docs [%u,%u] (%llu live, %zu tombstoned), "
-          "%s postings, %s bytes resident\n",
+          "%s postings, %s bytes resident, %s mapped\n",
           is_buffer ? "(write buffer)" : info.file.c_str(), info.min_doc,
           info.max_doc,
           static_cast<unsigned long long>(info.num_docs - tombstoned),
@@ -355,11 +374,14 @@ int CmdStats(const Args& args) {
           tix::FormatWithCommas(static_cast<int64_t>(info.num_postings))
               .c_str(),
           tix::FormatWithCommas(static_cast<int64_t>(residency.total_bytes()))
+              .c_str(),
+          tix::FormatWithCommas(static_cast<int64_t>(residency.mapped_bytes))
               .c_str());
     }
     return 0;
   }
-  auto index = tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
+  auto index = tix::index::InvertedIndex::LoadFromFile(
+      IndexPath(args.db_dir), LoadOptions(args));
   if (index.ok()) {
     std::printf("index:\n  terms:      %s\n  postings:   %s\n",
                 tix::FormatWithCommas(
@@ -383,6 +405,11 @@ int CmdStats(const Args& args) {
             static_cast<int64_t>(residency.doc_offset_bytes))
             .c_str(),
         residency.posting_bytes_per_posting());
+    std::printf("  mapped:     %s bytes (%zu lists served from mmap)\n",
+                tix::FormatWithCommas(
+                    static_cast<int64_t>(residency.mapped_bytes))
+                    .c_str(),
+                residency.mapped_lists);
     std::printf("  lists:      %zu compressed, %zu decoded\n",
                 residency.compressed_lists, residency.decoded_lists);
     const tix::index::BlockCacheStats cache =
@@ -401,8 +428,8 @@ int CmdStats(const Args& args) {
 }
 
 int CmdTerms(const Args& args) {
-  auto index =
-      Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
+  auto index = Check(tix::index::InvertedIndex::LoadFromFile(
+      IndexPath(args.db_dir), LoadOptions(args)));
   const auto terms = index.TermsWithFrequencyBetween(
       args.min == 0 ? 1 : args.min, args.max);
   size_t shown = 0;
@@ -435,8 +462,8 @@ int CmdQuery(const Args& args) {
   if (manifest_probe.ok()) {
     segmented = OpenSegmented(args, db.get());
   } else if (manifest_probe.status().IsNotFound()) {
-    index =
-        Check(tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir)));
+    index = Check(tix::index::InvertedIndex::LoadFromFile(
+        IndexPath(args.db_dir), LoadOptions(args)));
   } else {
     Die(manifest_probe.status());
   }
@@ -555,6 +582,10 @@ int CmdVerify(const Args& args) {
   // (all three format versions). With a manifest, every referenced
   // segment is loaded the same way, plus the manifest's own CRC and
   // structural invariants and the per-segment doc/posting cross-checks.
+  // Always the full scrub, regardless of --trust-index: verify exists
+  // to run the O(bytes) validation that trust-mode opens skip.
+  tix::index::IndexLoadOptions verify_load;
+  verify_load.verify_on_open = true;
   const auto manifest = tix::index::LoadManifest(args.db_dir);
   if (manifest.ok()) {
     std::printf("  %s: generation %llu, %zu segments, %zu tombstones\n",
@@ -564,7 +595,7 @@ int CmdVerify(const Args& args) {
                 manifest.value().tombstones.size());
     for (const auto& info : manifest.value().segments) {
       auto segment = tix::index::Segment::Load(
-          args.db_dir + "/" + info.file, info, tix::index::IndexLoadOptions());
+          args.db_dir + "/" + info.file, info, verify_load);
       if (segment.ok()) {
         std::printf("  %s/%s: docs [%u,%u], %llu postings\n",
                     args.db_dir.c_str(), info.file.c_str(), info.min_doc,
@@ -587,8 +618,8 @@ int CmdVerify(const Args& args) {
     std::fprintf(stderr, "  %s\n", manifest.status().ToString().c_str());
     ++problems;
   } else {
-    auto index =
-        tix::index::InvertedIndex::LoadFromFile(IndexPath(args.db_dir));
+    auto index = tix::index::InvertedIndex::LoadFromFile(
+        IndexPath(args.db_dir), verify_load);
     if (index.ok()) {
       std::printf(
           "  %s: format v%d, %llu terms, %llu postings\n",

@@ -108,7 +108,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto segmented = tix::index::SegmentedIndex::Open(db_dir);
+  // Trust-mode open: the segments were sealed (and validated) by this
+  // server or by tix_cli; skipping the O(bytes) scrub makes restart
+  // latency independent of index size. `tix_cli verify` remains the
+  // full-scrub path.
+  tix::index::SegmentedIndexOptions segmented_options;
+  segmented_options.load.verify_on_open = false;
+  auto segmented = tix::index::SegmentedIndex::Open(db_dir, segmented_options);
   if (!segmented.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  segmented.status().ToString().c_str());
