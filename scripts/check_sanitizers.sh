@@ -14,6 +14,9 @@
 # index under churn: queries pinning snapshots while ingestion, sealing
 # and background compaction publish new generations, plus the
 # ingest/compact equivalence fuzz and the manifest corruption sweep.
+# shard_test is the scatter-gather layer: coordinator threads fanning
+# one query across shard servers with mid-query floor-gossip frames,
+# plus the hostile-frame and seeded-corruption protocol fuzz.
 # mmap_index_test covers the mapped read path: trust-mode opens served
 # straight from mmap (every posting byte it touches is mapped memory,
 # so ASan/UBSan sees any out-of-mapping read) and the truncation
@@ -24,8 +27,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test mmap_index_test thread_pool_test server_test segment_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|mmap_index_test|thread_pool_test|server_test|segment_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test mmap_index_test thread_pool_test server_test segment_test shard_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|mmap_index_test|thread_pool_test|server_test|segment_test|shard_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

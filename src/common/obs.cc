@@ -149,6 +149,8 @@ const char* CounterName(Counter counter) {
       return "result_cache_misses";
     case Counter::kResultCacheGenEvictions:
       return "result_cache_gen_evictions";
+    case Counter::kTermJoinOccurrences:
+      return "term_join_occurrences";
   }
   return "unknown";
 }

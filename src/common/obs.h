@@ -58,9 +58,14 @@ enum class Counter : int {
   /// matches the live one (stale results from before an ingest, delete
   /// or compaction). Counted as misses too.
   kResultCacheGenEvictions = 13,
+  /// Occurrences merged by TermJoin (postings actually consumed after
+  /// pruning). The work metric benches compare across shard counts and
+  /// gossip settings; exported in STATS so external processes can read
+  /// it without EXPLAIN.
+  kTermJoinOccurrences = 14,
 };
 
-inline constexpr int kNumCounters = 14;
+inline constexpr int kNumCounters = 15;
 
 /// Stable snake_case name used in EXPLAIN output and the JSON schema.
 const char* CounterName(Counter counter);

@@ -131,7 +131,13 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
   // or above it already exist somewhere), so cross-partition publication
   // only ever tightens pruning — it cannot evict a global-top-K element.
   const bool pushdown = TermJoinCanPushThreshold(options_.join, *scorer_);
-  TopKFloor shared_floor;
+  // A caller-provided floor (already raised by remote shards) takes the
+  // place of the run-local one; remote raises only tighten pruning, by
+  // the same any-local-floor-is-globally-valid argument as below.
+  TopKFloor local_floor;
+  TopKFloor* const shared_floor = options_.join.shared_floor != nullptr
+                                      ? options_.join.shared_floor
+                                      : &local_floor;
 
   struct PartitionOutput {
     std::vector<ScoredElement> elements;
@@ -142,7 +148,7 @@ Result<std::vector<ScoredElement>> ParallelTermJoin::Run() {
     const obs::ScopedMetrics scope(ambient);
     TermJoinOptions join_options = options_.join;
     join_options.range = range;
-    if (pushdown) join_options.shared_floor = &shared_floor;
+    if (pushdown) join_options.shared_floor = shared_floor;
     TermJoin join(db_, index_, predicate_, scorer_, join_options);
     TIX_ASSIGN_OR_RETURN(std::vector<ScoredElement> elements, join.Run());
     return PartitionOutput{std::move(elements), join.stats()};

@@ -24,8 +24,10 @@ namespace tix::exec {
 struct ParallelTermJoinOptions {
   /// Options forwarded to every per-partition TermJoin (`join.range` is
   /// overwritten with the partition's range, planned inside the caller's
-  /// `join.range`; `join.shared_floor` is overwritten with a run-local
-  /// floor when the threshold pushes down).
+  /// `join.range`; when the threshold pushes down, partitions share
+  /// `join.shared_floor` if the caller provided one — the hook a shard
+  /// session uses to prune against the fleet-global floor — and
+  /// otherwise a run-local floor).
   TermJoinOptions join;
   /// Worker threads. 0 preserves today's serial behavior exactly: one
   /// TermJoin over the full corpus on the calling thread.

@@ -261,11 +261,20 @@ Status TermJoin::Pump() {
   // the child-count navigation in PopAndEmit), so installing the
   // join-local context here charges exactly this join's work.
   const obs::ScopedMetrics scope(&metrics_);
+  const bool wants_poll =
+      options_.deadline != nullptr ||
+      (pushdown_ && options_.floor_poll != nullptr);
   while (pending_.empty() && !input_done_) {
-    if (options_.deadline != nullptr && deadline_countdown_-- == 0) {
+    if (wants_poll && deadline_countdown_-- == 0) {
       deadline_countdown_ = kDeadlinePollStride;
-      if (options_.deadline->Expired()) {
+      if (options_.deadline != nullptr && options_.deadline->Expired()) {
         return Status::DeadlineExceeded("TermJoin: query deadline exceeded");
+      }
+      if (pushdown_ && options_.floor_poll != nullptr) {
+        // Cross-process floor gossip: let the embedder exchange the
+        // shared floor with remote shards at the same (amortised)
+        // stride as the deadline poll.
+        TIX_RETURN_IF_ERROR(options_.floor_poll());
       }
     }
     // t-min: the stream with the smallest (doc, word_pos) head.
@@ -294,6 +303,7 @@ Status TermJoin::Pump() {
           pending_.push_back(std::move(element));
         }
       }
+      obs::Count(obs::Counter::kTermJoinOccurrences, stats_.occurrences);
       stats_.record_fetches =
           metrics_.value(obs::Counter::kRecordFetches);
       stats_.index_lookups = metrics_.value(obs::Counter::kIndexLookups);

@@ -2,6 +2,7 @@
 #define TIX_EXEC_TERM_JOIN_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -57,6 +58,11 @@ struct TermJoinOptions {
   /// every few thousand occurrences and aborts with DeadlineExceeded —
   /// the mechanism behind the server's per-query timeout.
   const Deadline* deadline = nullptr;
+  /// Invoked at the same stride as the deadline poll while pushdown is
+  /// active. A shard session uses it to gossip the top-K floor with its
+  /// coordinator mid-merge (docs/SHARDING.md); a non-OK return aborts
+  /// the join with that status. Ignored outside pushdown mode.
+  std::function<Status()> floor_poll;
 };
 
 /// True when `options` + `scorer` activate the early-terminating top-K

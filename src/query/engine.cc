@@ -281,8 +281,18 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
                                                obs::OperatorMetrics* plan) {
   QueryOutput output;
   TIX_RETURN_IF_ERROR(CheckDeadline("start"));
-  TIX_ASSIGN_OR_RETURN(const storage::DocumentInfo doc,
-                       ResolveDocument(query.path.document));
+  // document("*") targets every live document — the corpus-wide mode a
+  // scatter-gather shard executes (docs/SHARDING.md). Every per-document
+  // filter below widens to "any live document".
+  const bool all_documents = query.path.document == "*";
+  storage::DocumentInfo doc;
+  if (!all_documents) {
+    TIX_ASSIGN_OR_RETURN(doc, ResolveDocument(query.path.document));
+  }
+  auto in_scope = [&](storage::DocId doc_id) {
+    if (!all_documents) return doc_id == doc.doc_id;
+    return snapshot_ == nullptr || snapshot_->IsLiveDocument(doc_id);
+  };
 
   const std::vector<PathStep>& steps = query.path.steps;
   const PathStep& target_step = steps.back();
@@ -302,7 +312,14 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
                            steps.size() == 1 ? "document root"
                                              : "anchor pattern");
     if (steps.size() == 1) {
-      anchor_nodes.push_back(doc.root);
+      if (all_documents) {
+        for (const storage::DocumentInfo& info : db_->documents()) {
+          if (in_scope(info.doc_id)) anchor_nodes.push_back(info.root);
+        }
+        std::sort(anchor_nodes.begin(), anchor_nodes.end());
+      } else {
+        anchor_nodes.push_back(doc.root);
+      }
     } else {
       std::vector<int> step_labels;
       TIX_ASSIGN_OR_RETURN(
@@ -317,7 +334,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
           if (label == anchor_label) {
             TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
                                  db_->GetNode(node));
-            if (record.doc_id == doc.doc_id) distinct.insert(node);
+            if (in_scope(record.doc_id)) distinct.insert(node);
           }
         }
       }
@@ -350,7 +367,8 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
     //    document root) keeps every scored element of the query's
     //    document — and the join is restricted to that document, since
     //    a global top-K over other documents would answer the wrong
-    //    query.
+    //    query. document("*") widens the restriction to every live
+    //    document (the whole corpus), which is its meaning.
     const bool pushdown =
         options_.threshold_pushdown && threshold_spec.top_k.has_value() &&
         !query.pick.has_value() && steps.size() == 1 &&
@@ -377,7 +395,11 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
       if (pushdown) {
         join_options.join.threshold = threshold_spec;
         join_options.join.range =
-            exec::DocRange{doc.doc_id, doc.doc_id + 1};
+            all_documents ? exec::DocRange{}
+                          : exec::DocRange{doc.doc_id, doc.doc_id + 1};
+        // Cross-process floor sharing (a shard session sets these).
+        join_options.join.shared_floor = options_.shared_topk_floor;
+        join_options.join.floor_poll = options_.topk_floor_poll;
       }
       TIX_ASSIGN_OR_RETURN(
           all_scored, RunScoringJoin(predicate, *scorer, join_options, &span));
@@ -425,7 +447,7 @@ Result<QueryOutput> QueryEngine::ExecuteSelect(const Query& query,
         if (label == target_label) {
           TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
                                db_->GetNode(node));
-          if (record.doc_id == doc.doc_id) distinct.insert(node);
+          if (in_scope(record.doc_id)) distinct.insert(node);
         }
       }
     }

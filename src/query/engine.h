@@ -1,6 +1,7 @@
 #ifndef TIX_QUERY_ENGINE_H_
 #define TIX_QUERY_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -94,6 +95,15 @@ struct EngineOptions {
   /// per query from its timeout knob (docs/SERVING.md); granularity is a
   /// stage boundary or ~4k merged postings, not an exact instant.
   Deadline deadline;
+  /// Cross-process top-K floor (docs/SHARDING.md): when set, an eligible
+  /// pushdown join prunes against this floor instead of a run-local one
+  /// and publishes local rises into it. A shard session points every
+  /// partition at the fleet-global floor. Must outlive the query.
+  exec::TopKFloor* shared_topk_floor = nullptr;
+  /// Invoked from the merge loop every few thousand postings while
+  /// pushdown is active; a shard session uses it to gossip the floor
+  /// with its coordinator. A non-OK return aborts the query.
+  std::function<Status()> topk_floor_poll;
 };
 
 class QueryEngine {

@@ -1,9 +1,12 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,6 +14,7 @@
 #include <cstring>
 
 #include "server/protocol.h"
+#include "server/shard_protocol.h"
 
 namespace tix::server {
 
@@ -24,6 +28,11 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  return Connect(host, port, ClientOptions{});
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -35,12 +44,57 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return Status::InvalidArgument("bad server address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const Status status =
-        Status::IOError(std::string("connect: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
+  if (options.io_timeout_ms == 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      const Status status =
+          Status::IOError(std::string("connect: ") + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+  } else {
+    // Bounded connect: non-blocking connect + poll. connect(2) has no
+    // timeout knob of its own; SO_SNDTIMEO does not cover it portably.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      if (errno != EINPROGRESS) {
+        const Status status =
+            Status::IOError(std::string("connect: ") + std::strerror(errno));
+        ::close(fd);
+        return status;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(options.io_timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready <= 0) {
+        ::close(fd);
+        if (ready == 0) return Status::DeadlineExceeded("connect timed out");
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        ::close(fd);
+        return Status::IOError(std::string("connect: ") +
+                               std::strerror(so_error));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    // Every subsequent read/write is individually bounded; protocol.cc
+    // maps the resulting EAGAIN to DeadlineExceeded.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.io_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options.io_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -124,6 +178,32 @@ Status Client::Compact() {
   return RoundTrip(static_cast<uint8_t>(FrameType::kCompact), "",
                    static_cast<uint8_t>(FrameType::kResult))
       .status();
+}
+
+Result<std::string> Client::ShardQuery(
+    const std::string& payload,
+    const std::function<double(double)>& on_floor) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  TIX_RETURN_IF_ERROR(
+      WriteFrame(fd_, FrameType::kQueryShard, payload));
+  for (;;) {
+    TIX_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kFloor: {
+        TIX_ASSIGN_OR_RETURN(const double local, DecodeFloor(frame.payload));
+        const double global = on_floor ? on_floor(local) : local;
+        TIX_RETURN_IF_ERROR(
+            WriteFrame(fd_, FrameType::kFloor, EncodeFloor(global)));
+        break;
+      }
+      case FrameType::kPartialResult:
+        return std::move(frame.payload);
+      case FrameType::kError:
+        return DecodeError(frame.payload);
+      default:
+        return Status::Internal("unexpected frame type in shard response");
+    }
+  }
 }
 
 Status Client::Ping() {

@@ -2,6 +2,7 @@
 #define TIX_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/macros.h"
@@ -15,6 +16,18 @@
 
 namespace tix::server {
 
+struct ClientOptions {
+  /// Bound on connect(2) and on every single read/write on the socket,
+  /// in milliseconds. 0 keeps the historical fully-blocking behavior. A
+  /// dead or wedged peer then surfaces as DeadlineExceeded instead of
+  /// blocking forever — the coordinator's fan-out depends on this, and
+  /// any standalone client benefits. Note the bound is per I/O call, not
+  /// per request: a query may legitimately take longer than one timeout
+  /// as long as the server keeps the connection moving (e.g. floor
+  /// gossip frames).
+  uint64_t io_timeout_ms = 0;
+};
+
 class Client {
  public:
   Client() = default;
@@ -27,6 +40,12 @@ class Client {
   /// Connects over TCP. Fails with IOError if the server refuses, or
   /// resurfaces the server's busy error if it rejects the session.
   static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  /// Like Connect, with `options.io_timeout_ms` applied to the connect
+  /// itself and to every subsequent read/write (DeadlineExceeded on
+  /// expiry).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options);
 
   bool connected() const { return fd_ >= 0; }
 
@@ -52,6 +71,17 @@ class Client {
 
   /// Force-seals the server's write buffer and runs one compaction.
   Status Compact();
+
+  /// Scatter-gather leg (docs/SHARDING.md): sends one kQueryShard frame
+  /// (`payload` = EncodeShardQuery) and pumps the exchange until the
+  /// final kPartialResult arrives, which is returned undecoded. Each
+  /// interleaved kFloor frame from the shard is answered with
+  /// `on_floor(local_floor)` — the coordinator's hook to fold the
+  /// shard's floor into the global one and reply with it. A null
+  /// `on_floor` echoes the shard's own floor back.
+  Result<std::string> ShardQuery(
+      const std::string& payload,
+      const std::function<double(double)>& on_floor);
 
   /// Round-trip liveness check.
   Status Ping();

@@ -1,0 +1,245 @@
+#include "server/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "algebra/threshold.h"
+#include "common/string_util.h"
+#include "exec/score_bound.h"
+#include "exec/scored_element.h"
+#include "exec/threshold_operator.h"
+#include "query/parser.h"
+#include "server/protocol.h"
+#include "server/shard_protocol.h"
+
+namespace tix::server {
+
+Result<std::vector<ShardEndpoint>> ParseShardList(std::string_view list) {
+  std::vector<ShardEndpoint> shards;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string_view::npos) end = list.size();
+    const std::string_view entry = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty shard endpoint in list");
+    }
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument("shard endpoint needs host:port, got '" +
+                                     std::string(entry) + "'");
+    }
+    ShardEndpoint endpoint;
+    endpoint.host = std::string(entry.substr(0, colon));
+    char* parse_end = nullptr;
+    const std::string port_text(entry.substr(colon + 1));
+    const unsigned long port = std::strtoul(port_text.c_str(), &parse_end, 10);
+    if (parse_end == port_text.c_str() || *parse_end != '\0' || port == 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("bad shard port in '" +
+                                     std::string(entry) + "'");
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    shards.push_back(std::move(endpoint));
+    if (end == list.size()) break;
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard list is empty");
+  }
+  return shards;
+}
+
+Result<Client> ShardFleet::Acquire(size_t shard) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_[shard].empty()) {
+      Client client = std::move(idle_[shard].back());
+      idle_[shard].pop_back();
+      return client;
+    }
+  }
+  dials_.fetch_add(1, std::memory_order_relaxed);
+  ClientOptions client_options;
+  client_options.io_timeout_ms = options_.io_timeout_ms;
+  return Client::Connect(options_.shards[shard].host,
+                         options_.shards[shard].port, client_options);
+}
+
+void ShardFleet::Release(size_t shard, Client client) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  idle_[shard].push_back(std::move(client));
+}
+
+Result<std::string> ShardFleet::Execute(const std::string& text,
+                                        const Deadline& deadline) {
+  // Parse at the coordinator too: the merge needs the threshold spec,
+  // and unshardable queries should fail before any fan-out.
+  TIX_ASSIGN_OR_RETURN(const query::Query parsed, query::ParseQuery(text));
+  if (parsed.simjoin.has_value()) {
+    return Status::NotImplemented(
+        "similarity joins are not supported in coordinator mode");
+  }
+  algebra::ThresholdSpec spec;
+  if (parsed.threshold.has_value()) {
+    spec.min_score = parsed.threshold->min_score;
+    spec.top_k = parsed.threshold->top_k;
+  }
+
+  ShardQueryRequest request;
+  request.render_limit = static_cast<uint32_t>(options_.render_limit);
+  request.floor_gossip = options_.floor_gossip;
+  request.query = text;
+  if (const auto remaining = deadline.Remaining(); remaining.has_value()) {
+    const long long ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(*remaining)
+            .count();
+    if (ms <= 0) {
+      return Status::DeadlineExceeded("query deadline exceeded (at fan-out)");
+    }
+    request.deadline_ms = static_cast<uint32_t>(
+        std::min<long long>(ms, std::numeric_limits<uint32_t>::max()));
+  }
+  const std::string payload = EncodeShardQuery(request);
+
+  fanouts_.fetch_add(1, std::memory_order_relaxed);
+  // The global floor: the running maximum of every shard's reported
+  // local floor. Any local floor is globally valid (k elements at or
+  // above it exist somewhere), so relaying the max back only tightens
+  // every shard's pruning — it can never evict a global-top-K element
+  // (same argument as ParallelTermJoin's shared floor, across the wire).
+  exec::TopKFloor global_floor;
+  auto on_floor = [this, &global_floor](double local) {
+    global_floor.Raise(local);
+    floor_exchanges_.fetch_add(1, std::memory_order_relaxed);
+    return global_floor.Load();
+  };
+
+  const size_t num_shards = options_.shards.size();
+  std::vector<Result<ShardPartialResult>> partials;
+  partials.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    partials.push_back(Status::Internal("shard leg did not run"));
+  }
+  auto run_leg = [this, &payload, &on_floor](size_t shard)
+      -> Result<ShardPartialResult> {
+    TIX_ASSIGN_OR_RETURN(Client client, Acquire(shard));
+    Result<std::string> encoded = client.ShardQuery(payload, on_floor);
+    if (!encoded.ok()) return encoded.status();
+    // Only a connection that completed the exchange cleanly returns to
+    // the pool; it is provably at a frame boundary.
+    TIX_ASSIGN_OR_RETURN(ShardPartialResult partial,
+                         DecodeShardPartial(encoded.value()));
+    Release(shard, std::move(client));
+    return partial;
+  };
+  if (num_shards == 1) {
+    partials[0] = run_leg(0);
+  } else {
+    std::vector<std::thread> legs;
+    legs.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      legs.emplace_back([&partials, &run_leg, i] {
+        partials[i] = run_leg(i);
+      });
+    }
+    for (std::thread& leg : legs) leg.join();
+  }
+
+  // A shard answering NotFound simply does not hold the named document;
+  // that is the normal case for document("name") queries (the fleet
+  // deals documents round-robin), so such legs reduce as empty partials.
+  // Only when *every* shard says NotFound does the query itself fail —
+  // exactly when a single node holding the union would fail.
+  size_t not_found = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    if (partials[i].ok()) continue;
+    if (partials[i].status().IsNotFound()) {
+      ++not_found;
+      continue;
+    }
+    shard_errors_.fetch_add(1, std::memory_order_relaxed);
+    const Status& status = partials[i].status();
+    const std::string where = StrFormat(
+        "shard %zu (%s:%u)", i, options_.shards[i].host.c_str(),
+        static_cast<unsigned>(options_.shards[i].port));
+    // An unreachable or mid-exchange-dead shard makes the whole query
+    // fail fast (all-or-nothing); the leg's own code survives so a
+    // propagated shard deadline still reads as DeadlineExceeded.
+    return status.WithContext(where);
+  }
+  if (not_found == num_shards) return partials[0].status();
+
+  // ---- Exact reduce: the existing ThresholdOperator merge. ------------
+  // Every shard shipped its local results in final order; the global
+  // result set is a subset of the union (each global winner wins
+  // locally too), so re-running the threshold over the union yields
+  // exactly the single-node outcome.
+  uint64_t anchors = 0;
+  uint64_t scored = 0;
+  uint64_t total = 0;
+  exec::ThresholdOperator merge(spec);
+  std::map<std::pair<uint32_t, uint64_t>, const std::string*> fragment_by_key;
+  for (const Result<ShardPartialResult>& leg : partials) {
+    if (!leg.ok()) continue;  // a NotFound leg: no documents, no results
+    const ShardPartialResult& partial = leg.value();
+    anchors += partial.anchors;
+    scored += partial.scored;
+    total += partial.total_count;
+    for (const ShardResultEntry& entry : partial.entries) {
+      exec::ScoredElement element;
+      element.node = static_cast<storage::NodeId>(entry.node);
+      element.doc = entry.doc;
+      element.start = entry.start;
+      element.end = entry.end;
+      element.level = entry.level;
+      element.score = entry.score;
+      merge.Push(std::move(element));
+    }
+    for (size_t i = 0; i < partial.fragments.size(); ++i) {
+      // Doc ids are globally namespaced, so (doc, node) is unique
+      // across shards.
+      fragment_by_key[{partial.entries[i].doc, partial.entries[i].node}] =
+          &partial.fragments[i];
+    }
+  }
+  const std::vector<exec::ScoredElement> merged = merge.Finish();
+  // Ranked queries: the global count is the merged top-K size. Unranked:
+  // shards sent only a rendering prefix, but their full counts sum.
+  const uint64_t count =
+      spec.top_k.has_value() ? static_cast<uint64_t>(merged.size()) : total;
+
+  std::string response =
+      StrFormat("%zu results (anchors %llu, scored %llu)\n",
+                static_cast<size_t>(count), (unsigned long long)anchors,
+                (unsigned long long)scored);
+  const size_t rendered = std::min(options_.render_limit, merged.size());
+  for (size_t i = 0; i < rendered; ++i) {
+    const auto it = fragment_by_key.find(
+        {merged[i].doc, static_cast<uint64_t>(merged[i].node)});
+    if (it == fragment_by_key.end()) {
+      // Unreachable by construction: every shard renders fragments for
+      // the first render_limit of its local order, and the global first
+      // render_limit restricted to one shard is a prefix of that order.
+      return Status::Internal("missing rendered fragment for merged result");
+    }
+    response += *it->second;
+  }
+  return response;
+}
+
+ShardFleetStats ShardFleet::Stats() const {
+  ShardFleetStats stats;
+  stats.fanouts = fanouts_.load(std::memory_order_relaxed);
+  stats.shard_errors = shard_errors_.load(std::memory_order_relaxed);
+  stats.floor_exchanges = floor_exchanges_.load(std::memory_order_relaxed);
+  stats.dials = dials_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace tix::server

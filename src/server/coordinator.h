@@ -1,0 +1,99 @@
+#ifndef TIX_SERVER_COORDINATOR_H_
+#define TIX_SERVER_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "server/client.h"
+
+/// \file
+/// Scatter-gather fan-out over a fleet of shard tixd instances
+/// (docs/SHARDING.md). The fleet broadcasts one query as kQueryShard
+/// frames, answers each shard's mid-query kFloor reports with the
+/// fleet-global floor (heap-floor gossip), and reduces the partial
+/// top-Ks through the exact ThresholdOperator merge — the same
+/// partition/reduce argument as the in-process ParallelTermJoin, with
+/// the process boundary in between. Results are byte-identical to a
+/// single node holding the union of the shards' documents (modulo the
+/// header's pruning-dependent `scored` statistic).
+
+namespace tix::server {
+
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port,host:port,..." (the tixd --shards flag).
+Result<std::vector<ShardEndpoint>> ParseShardList(std::string_view list);
+
+struct ShardFleetOptions {
+  std::vector<ShardEndpoint> shards;
+  /// Per-I/O bound on every shard connection (ClientOptions). Note a
+  /// gossiping shard refreshes the read clock with every kFloor frame,
+  /// so this bounds *silence*, not total query time; with gossip off it
+  /// must exceed the longest expected shard execution.
+  uint64_t io_timeout_ms = 5000;
+  /// Ask shards to gossip their top-K floor mid-query. Off reproduces
+  /// independent local top-Ks (same results, more postings scanned).
+  bool floor_gossip = true;
+  /// Results rendered into the merged response; also tells shards how
+  /// many rendered fragments to ship.
+  size_t render_limit = 10;
+};
+
+struct ShardFleetStats {
+  uint64_t fanouts = 0;          ///< Queries broadcast to the fleet.
+  uint64_t shard_errors = 0;     ///< Failed shard legs.
+  uint64_t floor_exchanges = 0;  ///< kFloor round-trips answered.
+  uint64_t dials = 0;            ///< Connections established.
+};
+
+class ShardFleet {
+ public:
+  explicit ShardFleet(ShardFleetOptions options)
+      : options_(std::move(options)), idle_(options_.shards.size()) {}
+  TIX_DISALLOW_COPY_AND_ASSIGN(ShardFleet);
+
+  /// Broadcasts `text` to every shard and merges the partial top-Ks
+  /// into a response rendered exactly like TixServer::ExecuteQuery's.
+  /// `deadline` is the remaining budget: it is forwarded to the shards
+  /// (satellite of the per-query deadline plumbing) and DeadlineExceeded
+  /// from any leg surfaces unchanged. A dead shard yields the leg's
+  /// error (never a hang — every read is bounded by io_timeout_ms);
+  /// the response is all-or-nothing, a partial failure fails the query.
+  Result<std::string> Execute(const std::string& text,
+                              const Deadline& deadline);
+
+  size_t num_shards() const { return options_.shards.size(); }
+  const ShardFleetOptions& options() const { return options_; }
+  ShardFleetStats Stats() const;
+
+ private:
+  /// Pops an idle pooled connection for `shard` or dials a new one.
+  Result<Client> Acquire(size_t shard);
+  /// Returns a healthy connection to the pool (failed ones are simply
+  /// dropped; their destructor closes the socket).
+  void Release(size_t shard, Client client);
+
+  const ShardFleetOptions options_;
+  std::mutex pool_mu_;
+  /// Idle connections per shard (a strict request/response protocol
+  /// means a pooled connection is always at a frame boundary).
+  std::vector<std::vector<Client>> idle_;
+  std::atomic<uint64_t> fanouts_{0};
+  std::atomic<uint64_t> shard_errors_{0};
+  std::atomic<uint64_t> floor_exchanges_{0};
+  std::atomic<uint64_t> dials_{0};
+};
+
+}  // namespace tix::server
+
+#endif  // TIX_SERVER_COORDINATOR_H_

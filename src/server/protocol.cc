@@ -30,6 +30,11 @@ Status WriteAll(int fd, const char* data, size_t size) {
         ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired (ClientOptions::io_timeout_ms): a stalled
+        // peer becomes a deadline error, not an indefinite block.
+        return Status::DeadlineExceeded("write timed out");
+      }
       if (errno == EPIPE || errno == ECONNRESET) {
         return Status::IOError("connection closed");
       }
@@ -49,6 +54,10 @@ Status ReadAll(int fd, char* data, size_t size, size_t* got) {
     const ssize_t n = ::read(fd, data + *got, size - *got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (ClientOptions::io_timeout_ms).
+        return Status::DeadlineExceeded("read timed out");
+      }
       return Status::IOError(std::string("read: ") + std::strerror(errno));
     }
     if (n == 0) return Status::IOError("read: connection closed");
@@ -80,7 +89,9 @@ Result<Frame> ReadFrame(int fd) {
   const Status header_read = ReadAll(fd, header, sizeof header, &got);
   if (!header_read.ok()) {
     // EOF exactly between frames is how sessions end; report it with the
-    // canonical message. Mid-header EOF means a truncated frame.
+    // canonical message. Mid-header EOF means a truncated frame, and a
+    // receive timeout keeps its DeadlineExceeded code either way.
+    if (header_read.IsDeadlineExceeded()) return header_read;
     if (got == 0) return Status::IOError("connection closed");
     return header_read.WithContext("truncated frame header");
   }

@@ -46,11 +46,25 @@ enum class FrameType : uint8_t {
   /// Force-seal the write buffer and run one compaction round. Empty
   /// payload. Response: kResult (empty) or kError.
   kCompact = 0x08,
+  /// Scatter-gather shard query (coordinator -> shard; docs/SHARDING.md).
+  /// Payload: EncodeShardQuery (shard_protocol.h) — deadline budget,
+  /// render limit, gossip flag, query text. Mid-execution the *shard*
+  /// may interleave any number of kFloor exchanges; the final answer is
+  /// exactly one kPartialResult or kError.
+  kQueryShard = 0x09,
+  /// Heap-floor gossip, used in both directions during a kQueryShard
+  /// exchange: the shard reports its local top-K floor, the coordinator
+  /// replies with the fleet-global floor. Payload: EncodeFloor — the
+  /// IEEE-754 double bit pattern, 8 bytes little-endian.
+  kFloor = 0x0A,
   // Responses (server -> client).
   kResult = 0x81,     ///< Payload: rendered result text.
   kError = 0x82,      ///< Payload: [u8 StatusCode][message] (EncodeError).
   kStatsJson = 0x83,  ///< Payload: server stats JSON.
   kPong = 0x84,       ///< Empty payload.
+  /// Payload: EncodeShardPartial (shard_protocol.h) — per-shard partial
+  /// top-K entries plus rendered per-result fragments.
+  kPartialResult = 0x85,
 };
 
 struct Frame {

@@ -11,7 +11,9 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "exec/score_bound.h"
 #include "index/block_cache.h"
+#include "query/parser.h"
 #include "server/protocol.h"
 #include "xml/parser.h"
 
@@ -97,6 +99,18 @@ TixServer::TixServer(storage::Database* db, index::SegmentedIndex* segmented,
       segmented_(segmented),
       options_(std::move(options)) {
   result_cache_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
+}
+
+TixServer::TixServer(ShardFleetOptions fleet, ServerOptions options)
+    : db_(nullptr),
+      index_(nullptr),
+      segmented_(nullptr),
+      fleet_(std::make_unique<ShardFleet>(std::move(fleet))),
+      options_(std::move(options)) {
+  // The cache object must exist (Stats() reads it) but stays cold: the
+  // coordinator cannot observe shard index generations, so serving a
+  // cached response could silently span an ingest on some shard.
+  result_cache_ = std::make_unique<ResultCache>(0);
 }
 
 TixServer::~TixServer() { Stop(); }
@@ -258,6 +272,9 @@ void TixServer::RunSession(int fd) {
       case FrameType::kCompact:
         handled = HandleCompact(fd);
         break;
+      case FrameType::kQueryShard:
+        handled = HandleShardQuery(fd, frame->payload);
+        break;
       case FrameType::kShutdown: {
         handled = WriteFrame(fd, FrameType::kPong, "");
         // Stop() joins the pool, so it cannot run here on a pool
@@ -288,6 +305,7 @@ void TixServer::RunSession(int fd) {
 }
 
 Status TixServer::HandleQuery(int fd, const std::string& text, bool explain) {
+  if (fleet_ != nullptr) return HandleCoordinatorQuery(fd, text, explain);
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::string key = NormalizeQueryText(text);
 
@@ -377,7 +395,195 @@ Result<std::string> TixServer::ExecuteQuery(
   return response;
 }
 
+Status TixServer::HandleCoordinatorQuery(int fd, const std::string& text,
+                                         bool explain) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (explain) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::NotImplemented(
+                          "EXPLAIN is not supported in coordinator mode "
+                          "(ask the shards directly)")));
+  }
+  // Admission control still applies: each admitted query occupies one
+  // fan-out (N shard connections + N legs of work downstream).
+  AdmissionSlot slot(this);
+  if (!slot.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
+  }
+  Deadline deadline;
+  if (options_.query_timeout_ms > 0) {
+    deadline =
+        Deadline::FromNow(std::chrono::milliseconds(options_.query_timeout_ms));
+  }
+  if (options_.test_query_hook) {
+    options_.test_query_hook(NormalizeQueryText(text));
+  }
+  Result<std::string> rendered = fleet_->Execute(text, deadline);
+  if (!rendered.ok()) {
+    if (rendered.status().IsDeadlineExceeded()) {
+      queries_timeout_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queries_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return WriteFrame(fd, FrameType::kError, EncodeError(rendered.status()));
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return WriteFrame(fd, FrameType::kResult, rendered.value());
+}
+
+Status TixServer::HandleShardQuery(int fd, const std::string& payload) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (fleet_ != nullptr) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "coordinators do not nest: kQueryShard must "
+                          "target a shard tixd")));
+  }
+  Result<ShardQueryRequest> request = DecodeShardQuery(payload);
+  if (!request.ok()) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError, EncodeError(request.status()));
+  }
+  // Pin the snapshot first for the same reason HandleQuery does; there
+  // is no cache lookup here (the coordinator bypasses result caching).
+  std::shared_ptr<const index::IndexSnapshot> snapshot;
+  if (segmented_ != nullptr) snapshot = segmented_->Acquire();
+
+  AdmissionSlot slot(this);
+  if (!slot.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, FrameType::kError, EncodeError(slot.status()));
+  }
+  // The effective budget is the tighter of the server's own timeout and
+  // the coordinator's forwarded remaining budget (satellite: per-query
+  // deadline propagation over the wire).
+  uint64_t budget_ms = options_.query_timeout_ms;
+  if (request->deadline_ms > 0 &&
+      (budget_ms == 0 || request->deadline_ms < budget_ms)) {
+    budget_ms = request->deadline_ms;
+  }
+  Deadline deadline;
+  if (budget_ms > 0) {
+    deadline = Deadline::FromNow(std::chrono::milliseconds(budget_ms));
+  }
+  if (options_.test_query_hook) {
+    options_.test_query_hook(NormalizeQueryText(request->query));
+  }
+
+  Result<std::string> partial =
+      ExecuteShardQuery(fd, request.value(), deadline, std::move(snapshot));
+  if (!partial.ok()) {
+    if (partial.status().IsDeadlineExceeded()) {
+      queries_timeout_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queries_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return WriteFrame(fd, FrameType::kError, EncodeError(partial.status()));
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return WriteFrame(fd, FrameType::kPartialResult, partial.value());
+}
+
+Result<std::string> TixServer::ExecuteShardQuery(
+    int fd, const ShardQueryRequest& request, const Deadline& deadline,
+    std::shared_ptr<const index::IndexSnapshot> snapshot) {
+  query::EngineOptions engine_options = options_.engine;
+  engine_options.collect_metrics = false;
+  engine_options.deadline = deadline;
+
+  // Heap-floor gossip: every pushdown partition prunes against one
+  // query-local floor, and the merge-loop poll exchanges it with the
+  // coordinator — send ours, raise by the fleet-global reply. The
+  // mutex serializes partitions of a parallel join onto the one socket
+  // (the frame protocol is strict request/response per exchange).
+  exec::TopKFloor floor;
+  std::mutex gossip_mu;
+  if (request.floor_gossip) {
+    engine_options.shared_topk_floor = &floor;
+    engine_options.topk_floor_poll = [this, fd, &floor,
+                                      &gossip_mu]() -> Status {
+      std::lock_guard<std::mutex> lock(gossip_mu);
+      TIX_RETURN_IF_ERROR(
+          WriteFrame(fd, FrameType::kFloor, EncodeFloor(floor.Load())));
+      TIX_ASSIGN_OR_RETURN(const Frame reply, ReadFrame(fd));
+      if (reply.type != FrameType::kFloor) {
+        return Status::Corruption("expected a FLOOR reply mid-query");
+      }
+      TIX_ASSIGN_OR_RETURN(const double global, DecodeFloor(reply.payload));
+      floor.Raise(global);
+      return Status::OK();
+    };
+  }
+
+  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+  query::QueryEngine engine =
+      snapshot != nullptr
+          ? query::QueryEngine(db_, std::move(snapshot), engine_options)
+          : query::QueryEngine(db_, index_, engine_options);
+  TIX_ASSIGN_OR_RETURN(const query::Query parsed,
+                       query::ParseQuery(request.query));
+  if (parsed.simjoin.has_value()) {
+    return Status::NotImplemented("similarity joins cannot be sharded");
+  }
+  const bool ranked =
+      parsed.threshold.has_value() && parsed.threshold->top_k.has_value();
+  TIX_ASSIGN_OR_RETURN(query::QueryOutput output, engine.Execute(parsed));
+
+  ShardPartialResult partial;
+  partial.anchors = output.stats.anchors;
+  partial.scored = output.stats.scored_elements;
+  partial.total_count = output.results.size();
+  // Ranked queries ship every local result (<= k): the merge needs all
+  // of them for the exact global count. Unranked queries can have huge
+  // result sets, but the coordinator only renders render_limit and
+  // counts via total_count — a prefix suffices (the global top of the
+  // final order restricted to this shard is a prefix of its order).
+  const size_t entry_count =
+      ranked ? output.results.size()
+             : std::min<size_t>(output.results.size(), request.render_limit);
+  const size_t fragment_count =
+      std::min<size_t>(entry_count, request.render_limit);
+  const uint32_t shard_count =
+      options_.shard_count == 0 ? 1 : options_.shard_count;
+  partial.entries.reserve(entry_count);
+  for (size_t i = 0; i < entry_count; ++i) {
+    const query::QueryResultItem& item = output.results[i];
+    TIX_ASSIGN_OR_RETURN(const storage::NodeRecord record,
+                         db_->GetNode(item.node));
+    ShardResultEntry entry;
+    entry.node = static_cast<uint64_t>(item.node);
+    // Global doc-id namespacing (docs/SHARDING.md): interval labels
+    // (start, end, level) stay shard-local — they only ever compare
+    // within one document — but doc ids must order globally.
+    entry.doc = record.doc_id * shard_count + options_.shard_id;
+    entry.start = record.start;
+    entry.end = record.end;
+    entry.level = record.level;
+    entry.score = item.score;
+    partial.entries.push_back(entry);
+  }
+  partial.fragments.reserve(fragment_count);
+  for (size_t i = 0; i < fragment_count; ++i) {
+    // Render per-element blocks: the coordinator stitches them in
+    // merged order, and each block is byte-identical to what a single
+    // node would render for the same element.
+    query::QueryOutput single;
+    single.results.push_back(output.results[i]);
+    TIX_ASSIGN_OR_RETURN(std::string fragment, engine.RenderXml(single, 1));
+    partial.fragments.push_back(std::move(fragment));
+  }
+  return EncodeShardPartial(partial);
+}
+
 Status TixServer::HandleIngest(int fd, const std::string& payload) {
+  if (fleet_ != nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "coordinator mode: ingest on the shards directly")));
+  }
   if (segmented_ == nullptr) {
     return WriteFrame(fd, FrameType::kError,
                       EncodeError(Status::InvalidArgument(
@@ -428,6 +634,11 @@ Status TixServer::HandleIngest(int fd, const std::string& payload) {
 }
 
 Status TixServer::HandleDelete(int fd, const std::string& payload) {
+  if (fleet_ != nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "coordinator mode: delete on the shards directly")));
+  }
   if (segmented_ == nullptr) {
     return WriteFrame(fd, FrameType::kError,
                       EncodeError(Status::InvalidArgument(
@@ -466,6 +677,11 @@ Status TixServer::HandleDelete(int fd, const std::string& payload) {
 }
 
 Status TixServer::HandleCompact(int fd) {
+  if (fleet_ != nullptr) {
+    return WriteFrame(fd, FrameType::kError,
+                      EncodeError(Status::InvalidArgument(
+                          "coordinator mode: compact on the shards directly")));
+  }
   if (segmented_ == nullptr) {
     return WriteFrame(fd, FrameType::kError,
                       EncodeError(Status::InvalidArgument(
@@ -544,6 +760,17 @@ std::string TixServer::StatsJson() const {
     AppendJsonField(&out, "deleted_docs", seg.deleted_docs, &first);
     AppendJsonField(&out, "total_postings", seg.total_postings, &first);
     AppendJsonField(&out, "compactions", seg.compactions, &first);
+    out += "}";
+  }
+  if (fleet_ != nullptr) {
+    const ShardFleetStats fleet = fleet_->Stats();
+    out += ",\"fleet\":{";
+    first = true;
+    AppendJsonField(&out, "shards", fleet_->num_shards(), &first);
+    AppendJsonField(&out, "fanouts", fleet.fanouts, &first);
+    AppendJsonField(&out, "shard_errors", fleet.shard_errors, &first);
+    AppendJsonField(&out, "floor_exchanges", fleet.floor_exchanges, &first);
+    AppendJsonField(&out, "dials", fleet.dials, &first);
     out += "}";
   }
   out += ",\"result_cache\":{";

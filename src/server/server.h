@@ -18,7 +18,9 @@
 #include "index/inverted_index.h"
 #include "index/segmented_index.h"
 #include "query/engine.h"
+#include "server/coordinator.h"
 #include "server/result_cache.h"
+#include "server/shard_protocol.h"
 #include "storage/database.h"
 
 /// \file
@@ -81,6 +83,14 @@ struct ServerOptions {
   /// Per-query engine knobs (threads, pushdown, block cache). The
   /// deadline and collect_metrics fields are overwritten per request.
   query::EngineOptions engine;
+  /// Doc-id namespacing for a shard member of a scatter-gather fleet
+  /// (docs/SHARDING.md): kQueryShard responses report global doc ids
+  /// `local * shard_count + shard_id`, so a fleet whose documents were
+  /// dealt round-robin reproduces the original ids exactly. The default
+  /// (shard_count <= 1) is the identity mapping — any tixd answers
+  /// kQueryShard, fleet member or not.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
   /// Test-only: runs on the session thread after a query is admitted
   /// (in-flight slot held) and before execution. Lets tests hold the
   /// slot to exercise admission control and timeouts deterministically.
@@ -116,6 +126,14 @@ class TixServer {
   /// of both while running.
   TixServer(storage::Database* db, index::SegmentedIndex* segmented,
             ServerOptions options);
+
+  /// Coordinator mode (docs/SHARDING.md): no local database or index —
+  /// kQuery frames fan out to the fleet's shards and reduce through the
+  /// exact top-K merge. Ingest/delete/compact/EXPLAIN are rejected
+  /// (mutate the shards directly), the result cache is bypassed (the
+  /// coordinator cannot observe shard index generations), and
+  /// kQueryShard is rejected too (fleets do not nest).
+  TixServer(ShardFleetOptions fleet, ServerOptions options);
   /// Stops the server if still running.
   ~TixServer();
   TIX_DISALLOW_COPY_AND_ASSIGN(TixServer);
@@ -174,6 +192,19 @@ class TixServer {
   Status HandleDelete(int fd, const std::string& payload);
   /// kCompact: force-seals the write buffer, then runs one compaction.
   Status HandleCompact(int fd);
+  /// kQuery in coordinator mode: fan out through fleet_ and answer with
+  /// the merged result (or the failing leg's error).
+  Status HandleCoordinatorQuery(int fd, const std::string& text,
+                                bool explain);
+  /// kQueryShard: executes the query locally with the fleet-global
+  /// floor gossiped over `fd`, answering kPartialResult (or kError).
+  Status HandleShardQuery(int fd, const std::string& payload);
+  /// The execution behind HandleShardQuery: runs the query with gossip
+  /// wired up and encodes the partial result (global doc ids, rendered
+  /// fragments for the first render_limit results).
+  Result<std::string> ExecuteShardQuery(
+      int fd, const ShardQueryRequest& request, const Deadline& deadline,
+      std::shared_ptr<const index::IndexSnapshot> snapshot);
 
   /// RAII in-flight slot. `ok()` false means rejected (status() says
   /// why); destructor releases the slot and wakes one waiter.
@@ -182,6 +213,8 @@ class TixServer {
   storage::Database* const db_;
   const index::InvertedIndex* const index_;   ///< Monolithic mode.
   index::SegmentedIndex* const segmented_;    ///< Live mode (else null).
+  /// Coordinator mode (else null; db_/index_/segmented_ are null then).
+  std::unique_ptr<ShardFleet> fleet_;
   const ServerOptions options_;
 
   /// Guards the database in live mode: queries hold it shared for their

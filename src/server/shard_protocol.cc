@@ -1,0 +1,206 @@
+#include "server/shard_protocol.h"
+
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace tix::server {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool Read(uint16_t* value) {
+    if (data_.size() - pos_ < 2) return false;
+    *value = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool Read(uint32_t* value) {
+    if (data_.size() - pos_ < 4) return false;
+    *value = Byte(0) | (Byte(1) << 8) | (Byte(2) << 16) | (Byte(3) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool Read(uint64_t* value) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!Read(&lo) || !Read(&hi)) return false;
+    *value = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool Read(double* value) {
+    uint64_t bits = 0;
+    if (!Read(&bits)) return false;
+    std::memcpy(value, &bits, sizeof bits);
+    return true;
+  }
+
+  bool ReadBytes(size_t length, std::string* out) {
+    if (data_.size() - pos_ < length) return false;
+    out->assign(data_.substr(pos_, length));
+    pos_ += length;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  std::string_view rest() const { return data_.substr(pos_); }
+
+ private:
+  uint32_t Byte(size_t offset) const {
+    return static_cast<uint8_t>(data_[pos_ + offset]);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeShardQuery(const ShardQueryRequest& request) {
+  std::string payload;
+  payload.reserve(9 + request.query.size());
+  PutU32(&payload, request.deadline_ms);
+  PutU32(&payload, request.render_limit);
+  payload.push_back(request.floor_gossip ? 1 : 0);
+  payload += request.query;
+  return payload;
+}
+
+Result<ShardQueryRequest> DecodeShardQuery(std::string_view payload) {
+  Reader reader(payload);
+  ShardQueryRequest request;
+  uint8_t flags = 0;
+  std::string flag_byte;
+  if (!reader.Read(&request.deadline_ms) ||
+      !reader.Read(&request.render_limit) ||
+      !reader.ReadBytes(1, &flag_byte)) {
+    return Status::Corruption("truncated shard-query payload");
+  }
+  flags = static_cast<uint8_t>(flag_byte[0]);
+  if ((flags & ~1u) != 0) {
+    return Status::Corruption("shard-query payload with unknown flags");
+  }
+  request.floor_gossip = (flags & 1u) != 0;
+  request.query = std::string(reader.rest());
+  return request;
+}
+
+std::string EncodeFloor(double floor) {
+  std::string payload;
+  payload.reserve(8);
+  PutF64(&payload, floor);
+  return payload;
+}
+
+Result<double> DecodeFloor(std::string_view payload) {
+  Reader reader(payload);
+  double floor = 0.0;
+  if (!reader.Read(&floor) || reader.remaining() != 0) {
+    return Status::Corruption("malformed floor payload");
+  }
+  // NaN never comes out of a real heap floor and would poison every
+  // comparison downstream.
+  if (floor != floor) return Status::Corruption("floor payload is NaN");
+  return floor;
+}
+
+std::string EncodeShardPartial(const ShardPartialResult& partial) {
+  std::string payload;
+  PutU64(&payload, partial.anchors);
+  PutU64(&payload, partial.scored);
+  PutU64(&payload, partial.total_count);
+  PutU32(&payload, static_cast<uint32_t>(partial.entries.size()));
+  for (const ShardResultEntry& entry : partial.entries) {
+    PutU64(&payload, entry.node);
+    PutU32(&payload, entry.doc);
+    PutU32(&payload, entry.start);
+    PutU32(&payload, entry.end);
+    PutU16(&payload, entry.level);
+    PutF64(&payload, entry.score);
+  }
+  PutU32(&payload, static_cast<uint32_t>(partial.fragments.size()));
+  for (const std::string& fragment : partial.fragments) {
+    PutU32(&payload, static_cast<uint32_t>(fragment.size()));
+    payload += fragment;
+  }
+  return payload;
+}
+
+Result<ShardPartialResult> DecodeShardPartial(std::string_view payload) {
+  Reader reader(payload);
+  ShardPartialResult partial;
+  uint32_t num_entries = 0;
+  if (!reader.Read(&partial.anchors) || !reader.Read(&partial.scored) ||
+      !reader.Read(&partial.total_count) || !reader.Read(&num_entries)) {
+    return Status::Corruption("truncated partial-result header");
+  }
+  // Each entry is 30 bytes on the wire; an entry count the remaining
+  // bytes cannot hold is corrupt (and guards the resize below).
+  if (num_entries > reader.remaining() / 30) {
+    return Status::Corruption("partial-result entry count exceeds payload");
+  }
+  partial.entries.resize(num_entries);
+  for (ShardResultEntry& entry : partial.entries) {
+    if (!reader.Read(&entry.node) || !reader.Read(&entry.doc) ||
+        !reader.Read(&entry.start) || !reader.Read(&entry.end) ||
+        !reader.Read(&entry.level) || !reader.Read(&entry.score)) {
+      return Status::Corruption("truncated partial-result entry");
+    }
+    if (entry.score != entry.score) {
+      return Status::Corruption("partial-result entry score is NaN");
+    }
+  }
+  uint32_t num_fragments = 0;
+  if (!reader.Read(&num_fragments)) {
+    return Status::Corruption("truncated partial-result fragment count");
+  }
+  if (num_fragments > num_entries) {
+    return Status::Corruption(
+        "partial-result fragment count exceeds entry count");
+  }
+  partial.fragments.resize(num_fragments);
+  for (std::string& fragment : partial.fragments) {
+    uint32_t length = 0;
+    if (!reader.Read(&length) || length > kMaxFrameBytes ||
+        !reader.ReadBytes(length, &fragment)) {
+      return Status::Corruption("truncated partial-result fragment");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("partial-result payload has trailing bytes");
+  }
+  return partial;
+}
+
+}  // namespace tix::server

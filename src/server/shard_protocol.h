@@ -1,0 +1,93 @@
+#ifndef TIX_SERVER_SHARD_PROTOCOL_H_
+#define TIX_SERVER_SHARD_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file
+/// Payload codecs for the scatter-gather frames (docs/SHARDING.md).
+/// All integers are little-endian; doubles travel as their IEEE-754 bit
+/// pattern. Decoders validate strictly and return Corruption on any
+/// malformed input — they face network bytes, and the fuzz loop in
+/// tests/shard_test.cc feeds them seeded garbage.
+///
+/// Wire layout:
+///
+///   kQueryShard payload (coordinator -> shard):
+///     [u32 deadline_ms, 0 = none][u32 render_limit][u8 flags]
+///     [query text ...]
+///     flags bit 0: floor gossip enabled for this query.
+///
+///   kFloor payload (both directions): [f64 floor bits]
+///
+///   kPartialResult payload (shard -> coordinator):
+///     [u64 anchors][u64 scored][u64 total_count][u32 num_entries]
+///     num_entries x [u64 node][u32 global_doc][u32 start][u32 end]
+///                   [u16 level][f64 score bits]
+///     [u32 num_fragments]   (<= num_entries; covers entries[0..n))
+///     num_fragments x [u32 length][rendered bytes]
+///
+/// Entries are the shard's local result list in final order (descending
+/// score, ties in document order); fragment i is the rendered
+/// `<result>...</result>\n` block for entry i.
+
+namespace tix::server {
+
+struct ShardQueryRequest {
+  /// Remaining per-query budget in milliseconds; 0 means unlimited. The
+  /// shard combines it with its own query timeout (the tighter wins).
+  uint32_t deadline_ms = 0;
+  /// How many leading results the coordinator will render; bounds the
+  /// fragment payload and, for unranked queries, the entry list.
+  uint32_t render_limit = 10;
+  /// Gossip the top-K floor with the coordinator during execution.
+  bool floor_gossip = true;
+  std::string query;
+};
+
+std::string EncodeShardQuery(const ShardQueryRequest& request);
+Result<ShardQueryRequest> DecodeShardQuery(std::string_view payload);
+
+/// kFloor payload: one double, bit pattern little-endian.
+std::string EncodeFloor(double floor);
+Result<double> DecodeFloor(std::string_view payload);
+
+/// One scored element, doc-id already translated into the global
+/// namespace (local * shard_count + shard_id).
+struct ShardResultEntry {
+  uint64_t node = 0;
+  uint32_t doc = 0;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint16_t level = 0;
+  double score = 0.0;
+};
+
+struct ShardPartialResult {
+  /// The shard's QueryStats::anchors (summed by the coordinator).
+  uint64_t anchors = 0;
+  /// The shard's QueryStats::scored_elements (summed; informational —
+  /// depends on pruning, so it is not part of the equivalence contract).
+  uint64_t scored = 0;
+  /// The shard's full local result count. For ranked (top-K) queries the
+  /// coordinator recomputes the global count from the merge; for
+  /// unranked queries it sums these.
+  uint64_t total_count = 0;
+  /// Local results in final order. Ranked queries send all of them
+  /// (<= k); unranked queries send the first render_limit.
+  std::vector<ShardResultEntry> entries;
+  /// Rendered blocks for entries[0..fragments.size()), capped at the
+  /// request's render_limit.
+  std::vector<std::string> fragments;
+};
+
+std::string EncodeShardPartial(const ShardPartialResult& partial);
+Result<ShardPartialResult> DecodeShardPartial(std::string_view payload);
+
+}  // namespace tix::server
+
+#endif  // TIX_SERVER_SHARD_PROTOCOL_H_

@@ -5,6 +5,9 @@
 //        [--admission-wait-ms=N] [--timeout-ms=N]
 //        [--result-cache-mb=N] [--block-cache-mb=N]
 //        [--threads=N] [--no-pushdown] [--limit=N]
+//        [--shard-id=N --shard-count=N]
+//   tixd --coordinator --shards=HOST:PORT,... [--port=N] [--host=ADDR]
+//        [--io-timeout-ms=N] [--no-gossip] [--limit=N] [...]
 //
 // Opens the database and index once, then serves queries over the
 // length-prefixed TCP protocol until SIGINT/SIGTERM or a client
@@ -28,7 +31,10 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <unistd.h>
 
 #include "flag_parse.h"
@@ -57,7 +63,11 @@ int Usage() {
                "            [--admission-queue=N] [--admission-wait-ms=N]\n"
                "            [--timeout-ms=N] [--result-cache-mb=N]\n"
                "            [--block-cache-mb=N] [--threads=N]\n"
-               "            [--no-pushdown] [--limit=N]\n");
+               "            [--no-pushdown] [--limit=N]\n"
+               "            [--shard-id=N --shard-count=N]\n"
+               "       tixd --coordinator --shards=HOST:PORT,...\n"
+               "            [--port=N] [--host=ADDR] [--io-timeout-ms=N]\n"
+               "            [--no-gossip] [--limit=N]\n");
   return 2;
 }
 
@@ -71,7 +81,12 @@ int main(int argc, char** argv) {
   using tix::tools::ParseUint64Flag;
 
   std::string db_dir;
+  std::string shard_list;
+  bool coordinator = false;
+  uint64_t shard_id = 0;
+  uint64_t shard_count = 1;
   tix::server::ServerOptions options;
+  tix::server::ShardFleetOptions fleet_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string_view value;
@@ -79,6 +94,8 @@ int main(int argc, char** argv) {
       db_dir = std::string(value);
     } else if (MatchFlag(arg, "host", &value)) {
       options.host = std::string(value);
+    } else if (MatchFlag(arg, "shards", &value)) {
+      shard_list = std::string(value);
     } else if (ParsePortFlag(arg, "port", &options.port) ||
                ParseSizeFlag(arg, "sessions", &options.session_threads) ||
                ParseSizeFlag(arg, "inflight", &options.max_inflight) ||
@@ -92,40 +109,71 @@ int main(int argc, char** argv) {
                ParseMiBFlag(arg, "block-cache-mb",
                             &options.engine.block_cache_bytes) ||
                ParseSizeFlag(arg, "threads", &options.engine.num_threads) ||
-               ParseSizeFlag(arg, "limit", &options.render_limit)) {
+               ParseSizeFlag(arg, "limit", &options.render_limit) ||
+               ParseUint64Flag(arg, "shard-id", &shard_id) ||
+               ParseUint64Flag(arg, "shard-count", &shard_count) ||
+               ParseUint64Flag(arg, "io-timeout-ms",
+                               &fleet_options.io_timeout_ms)) {
       // Parsed (or died with a message naming the bad flag).
     } else if (arg == "--no-pushdown") {
       options.engine.threshold_pushdown = false;
+    } else if (arg == "--coordinator") {
+      coordinator = true;
+    } else if (arg == "--no-gossip") {
+      fleet_options.floor_gossip = false;
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
       return Usage();
     }
   }
-  if (db_dir.empty()) return Usage();
+  if (coordinator ? (shard_list.empty() || !db_dir.empty())
+                  : (db_dir.empty() || !shard_list.empty())) {
+    return Usage();
+  }
+  if (shard_id >= shard_count || shard_count > 0xffffffffull) {
+    std::fprintf(stderr, "error: need --shard-id < --shard-count\n");
+    return Usage();
+  }
+  options.shard_id = static_cast<uint32_t>(shard_id);
+  options.shard_count = static_cast<uint32_t>(shard_count);
 
-  auto db = tix::storage::Database::Open(db_dir);
-  if (!db.ok()) {
-    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
-  // Trust-mode open: the segments were sealed (and validated) by this
-  // server or by tix_cli; skipping the O(bytes) scrub makes restart
-  // latency independent of index size. `tix_cli verify` remains the
-  // full-scrub path.
-  tix::index::SegmentedIndexOptions segmented_options;
-  segmented_options.load.verify_on_open = false;
-  auto segmented = tix::index::SegmentedIndex::Open(db_dir, segmented_options);
-  if (!segmented.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 segmented.status().ToString().c_str());
-    return 1;
-  }
-  // Re-buffer documents that were ingested but not sealed before the
-  // previous process exited.
-  const tix::Status recovered = segmented.value()->Recover(db.value().get());
-  if (!recovered.ok()) {
-    std::fprintf(stderr, "error: %s\n", recovered.ToString().c_str());
-    return 1;
+  // Shard-mode state (unused by the coordinator, which holds no data).
+  std::unique_ptr<tix::storage::Database> db;
+  std::unique_ptr<tix::index::SegmentedIndex> segmented;
+  if (coordinator) {
+    auto shards = tix::server::ParseShardList(shard_list);
+    if (!shards.ok()) {
+      std::fprintf(stderr, "error: %s\n", shards.status().ToString().c_str());
+      return 1;
+    }
+    fleet_options.shards = std::move(shards.value());
+    fleet_options.render_limit = options.render_limit;
+  } else {
+    auto opened = tix::storage::Database::Open(db_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened.value());
+    // Trust-mode open: the segments were sealed (and validated) by this
+    // server or by tix_cli; skipping the O(bytes) scrub makes restart
+    // latency independent of index size. `tix_cli verify` remains the
+    // full-scrub path.
+    tix::index::SegmentedIndexOptions segmented_options;
+    segmented_options.load.verify_on_open = false;
+    auto seg = tix::index::SegmentedIndex::Open(db_dir, segmented_options);
+    if (!seg.ok()) {
+      std::fprintf(stderr, "error: %s\n", seg.status().ToString().c_str());
+      return 1;
+    }
+    segmented = std::move(seg.value());
+    // Re-buffer documents that were ingested but not sealed before the
+    // previous process exited.
+    const tix::Status recovered = segmented->Recover(db.get());
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "error: %s\n", recovered.ToString().c_str());
+      return 1;
+    }
   }
 
   if (::pipe(g_signal_pipe) != 0) {
@@ -141,8 +189,13 @@ int main(int argc, char** argv) {
   // client cannot kill the daemon regardless of the embedder's signal
   // disposition.
 
-  tix::server::TixServer server(db.value().get(), segmented.value().get(),
-                                options);
+  std::optional<tix::server::TixServer> server_holder;
+  if (coordinator) {
+    server_holder.emplace(std::move(fleet_options), options);
+  } else {
+    server_holder.emplace(db.get(), segmented.get(), options);
+  }
+  tix::server::TixServer& server = *server_holder;
   const tix::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
