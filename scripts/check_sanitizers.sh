@@ -21,14 +21,18 @@
 # straight from mmap (every posting byte it touches is mapped memory,
 # so ASan/UBSan sees any out-of-mapping read) and the truncation
 # fail-closed sweep; storage_test's concurrent AtomicWriteFile race is
-# TSan's view of the unique-tmp rename protocol.
+# TSan's view of the unique-tmp rename protocol. codec_test is the
+# decode-kernel differential fuzz: the SWAR and SSSE3 shuffle kernels
+# use wide loads with explicit tail guards, and running the
+# every-prefix-truncation and random-garbage sweeps under ASan is the
+# proof those guards never read past the posting block.
 #
 #   scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test block_index_test mmap_index_test thread_pool_test server_test segment_test shard_test)
-FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|block_index_test|mmap_index_test|thread_pool_test|server_test|segment_test|shard_test"
+TARGETS=(parallel_exec_test topk_pushdown_test obs_test storage_test fault_test codec_test block_index_test mmap_index_test thread_pool_test server_test segment_test shard_test)
+FILTER="parallel_exec_test|topk_pushdown_test|obs_test|storage_test|fault_test|codec_test|block_index_test|mmap_index_test|thread_pool_test|server_test|segment_test|shard_test"
 
 run_preset() {
   local dir="$1" sanitize="$2"

@@ -1,37 +1,28 @@
 #include "common/block_codec.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/block_codec_internal.h"
+#include "common/cpu.h"
+#include "common/logging.h"
 #include "common/varint.h"
 
 namespace tix::codec {
+
+using internal::DecodeU32Scalar;
+using internal::DecodeU32Swar;
+using internal::kErrTrailing;
+using internal::kErrVarint;
+using internal::kV4Len;
+using internal::V4CtrlLen;
+using internal::V4PaddingOk;
+
 namespace {
 
-/// Bounded LEB128 decode of one uint32. Returns the advanced pointer, or
-/// nullptr on truncated input, a fifth byte carrying more than the top
-/// four value bits, or a continuation past the fifth byte. Kept local
-/// (instead of GetVarint32's string_view interface) so the per-posting
-/// hot loop works on raw pointers with no view re-slicing.
-inline const uint8_t* DecodeU32(const uint8_t* p, const uint8_t* end,
-                                uint32_t* out) {
-  uint32_t result = 0;
-  int shift = 0;
-  for (int i = 0; i < 5; ++i) {
-    if (p >= end) return nullptr;
-    const uint32_t byte = *p++;
-    result |= (byte & 0x7fu) << shift;
-    if ((byte & 0x80u) == 0) {
-      if (i == 4 && (byte >> 4) != 0) return nullptr;  // beyond 32 bits
-      *out = result;
-      return p;
-    }
-    shift += 7;
-  }
-  return nullptr;  // five continuation bytes: overlong
-}
-
-}  // namespace
-
-void EncodeBlockTail(const uint32_t* triples, size_t count,
-                     std::string* out) {
+void EncodeBlockTailV3(const uint32_t* triples, size_t count,
+                       std::string* out) {
   uint32_t prev_doc = triples[0];
   uint32_t prev_node = triples[1];
   uint32_t prev_pos = triples[2];
@@ -53,8 +44,78 @@ void EncodeBlockTail(const uint32_t* triples, size_t count,
   }
 }
 
-Status DecodeBlockTail(std::string_view bytes, size_t count,
-                       uint32_t* triples) {
+void EncodeBlockTailV4(const uint32_t* triples, size_t count,
+                       std::string* out) {
+  if (count <= 1) return;
+  const size_t nvals = 3 * (count - 1);
+  const size_t ctrl_base = out->size();
+  out->append(V4CtrlLen(nvals), '\0');
+  size_t vi = 0;
+  const auto put = [&](uint32_t v) {
+    uint32_t code;
+    if (v == 0) {
+      code = 0;
+    } else if (v < (1u << 8)) {
+      code = 1;
+    } else if (v < (1u << 16)) {
+      code = 2;
+    } else {
+      code = 3;
+    }
+    (*out)[ctrl_base + (vi >> 2)] = static_cast<char>(
+        static_cast<uint8_t>((*out)[ctrl_base + (vi >> 2)]) |
+        (code << ((vi & 3) * 2)));
+    const char data[4] = {
+        static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+        static_cast<char>((v >> 16) & 0xff),
+        static_cast<char>((v >> 24) & 0xff)};
+    out->append(data, kV4Len[code]);
+    ++vi;
+  };
+  uint32_t prev_doc = triples[0];
+  uint32_t prev_node = triples[1];
+  uint32_t prev_pos = triples[2];
+  for (size_t i = 1; i < count; ++i) {
+    const uint32_t doc = triples[3 * i];
+    const uint32_t node = triples[3 * i + 1];
+    const uint32_t pos = triples[3 * i + 2];
+    const uint32_t doc_delta = doc - prev_doc;
+    put(doc_delta);
+    if (doc_delta != 0) {
+      prev_node = 0;
+      prev_pos = 0;
+    }
+    put(node - prev_node);
+    put(pos - prev_pos);
+    prev_doc = doc;
+    prev_node = node;
+    prev_pos = pos;
+  }
+}
+
+/// Selection logic for the process-wide kernel: TIX_DECODE_KERNEL if it
+/// names an available kernel, else the best the machine supports.
+DecodeKernel PickKernel() {
+  if (const char* env = std::getenv("TIX_DECODE_KERNEL")) {
+    if (std::strcmp(env, "scalar") == 0) return DecodeKernel::kScalar;
+    if (std::strcmp(env, "swar") == 0) return DecodeKernel::kSwar;
+    if (std::strcmp(env, "simd") == 0 &&
+        DecodeKernelAvailable(DecodeKernel::kSimd)) {
+      return DecodeKernel::kSimd;
+    }
+  }
+  return DecodeKernelAvailable(DecodeKernel::kSimd) ? DecodeKernel::kSimd
+                                                    : DecodeKernel::kSwar;
+}
+
+std::atomic<int> g_active_kernel{-1};
+
+}  // namespace
+
+namespace internal {
+
+Status DecodeTailV3Scalar(std::string_view bytes, size_t count,
+                          uint32_t* triples) {
   const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
   const uint8_t* const end = p + bytes.size();
   uint32_t prev_doc = triples[0];
@@ -64,10 +125,10 @@ Status DecodeBlockTail(std::string_view bytes, size_t count,
     uint32_t doc_delta = 0;
     uint32_t node_delta = 0;
     uint32_t pos_delta = 0;
-    if ((p = DecodeU32(p, end, &doc_delta)) == nullptr ||
-        (p = DecodeU32(p, end, &node_delta)) == nullptr ||
-        (p = DecodeU32(p, end, &pos_delta)) == nullptr) {
-      return Status::Corruption("posting block: truncated or overlong varint");
+    if ((p = DecodeU32Scalar(p, end, &doc_delta)) == nullptr ||
+        (p = DecodeU32Scalar(p, end, &node_delta)) == nullptr ||
+        (p = DecodeU32Scalar(p, end, &pos_delta)) == nullptr) {
+      return Status::Corruption(kErrVarint);
     }
     if (doc_delta != 0) {
       prev_node = 0;
@@ -81,9 +142,210 @@ Status DecodeBlockTail(std::string_view bytes, size_t count,
     triples[3 * i + 2] = prev_pos;
   }
   if (p != end) {
-    return Status::Corruption("posting block: trailing bytes after tail");
+    return Status::Corruption(kErrTrailing);
   }
   return Status::OK();
+}
+
+Status DecodeTailV3Swar(std::string_view bytes, size_t count,
+                        uint32_t* triples) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint8_t* const end = p + bytes.size();
+  uint32_t prev_doc = triples[0];
+  uint32_t prev_node = triples[1];
+  uint32_t prev_pos = triples[2];
+  for (size_t i = 1; i < count; ++i) {
+    uint32_t doc_delta = 0;
+    uint32_t node_delta = 0;
+    uint32_t pos_delta = 0;
+    if ((p = DecodeU32Swar(p, end, &doc_delta)) == nullptr ||
+        (p = DecodeU32Swar(p, end, &node_delta)) == nullptr ||
+        (p = DecodeU32Swar(p, end, &pos_delta)) == nullptr) {
+      return Status::Corruption(kErrVarint);
+    }
+    // Branchless reset: keep is all-ones only when the doc did not
+    // change, so node/pos deltas chain; otherwise they are absolute.
+    const uint32_t keep = doc_delta == 0 ? ~0u : 0u;
+    prev_doc += doc_delta;
+    prev_node = (prev_node & keep) + node_delta;
+    prev_pos = (prev_pos & keep) + pos_delta;
+    triples[3 * i] = prev_doc;
+    triples[3 * i + 1] = prev_node;
+    triples[3 * i + 2] = prev_pos;
+  }
+  if (p != end) {
+    return Status::Corruption(kErrTrailing);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The v3/v4 split puts the control stream first, so decoding walks two
+/// pointers: `vi` indexes 2-bit codes, `data` walks the payload.
+/// Templated on the per-value loader so the scalar (byte shifts) and
+/// SWAR (masked 4-byte load) kernels share the framing logic exactly.
+template <typename LoadValue>
+Status DecodeTailV4Generic(std::string_view bytes, size_t count,
+                           uint32_t* triples, LoadValue load_value) {
+  const size_t nvals = count > 0 ? 3 * (count - 1) : 0;
+  const size_t ctrl_len = V4CtrlLen(nvals);
+  if (bytes.size() < ctrl_len) return Status::Corruption(kErrVarint);
+  const uint8_t* const ctrl = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint8_t* data = ctrl + ctrl_len;
+  const uint8_t* const end = ctrl + bytes.size();
+  if (!V4PaddingOk(ctrl, nvals)) return Status::Corruption(kErrVarint);
+  uint32_t prev_doc = triples[0];
+  uint32_t prev_node = triples[1];
+  uint32_t prev_pos = triples[2];
+  size_t vi = 0;
+  for (size_t i = 1; i < count; ++i) {
+    uint32_t d[3];
+    for (int k = 0; k < 3; ++k, ++vi) {
+      const uint32_t code = (ctrl[vi >> 2] >> ((vi & 3) * 2)) & 3u;
+      const uint32_t len = kV4Len[code];
+      if (static_cast<size_t>(end - data) < len) {
+        return Status::Corruption(kErrVarint);
+      }
+      d[k] = load_value(data, end, len);
+      data += len;
+    }
+    const uint32_t keep = d[0] == 0 ? ~0u : 0u;
+    prev_doc += d[0];
+    prev_node = (prev_node & keep) + d[1];
+    prev_pos = (prev_pos & keep) + d[2];
+    triples[3 * i] = prev_doc;
+    triples[3 * i + 1] = prev_node;
+    triples[3 * i + 2] = prev_pos;
+  }
+  if (data != end) {
+    return Status::Corruption(kErrTrailing);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeTailV4Scalar(std::string_view bytes, size_t count,
+                          uint32_t* triples) {
+  return DecodeTailV4Generic(
+      bytes, count, triples,
+      [](const uint8_t* data, const uint8_t* /*end*/, uint32_t len) {
+        uint32_t v = 0;
+        for (uint32_t b = 0; b < len; ++b) {
+          v |= static_cast<uint32_t>(data[b]) << (8 * b);
+        }
+        return v;
+      });
+}
+
+Status DecodeTailV4Swar(std::string_view bytes, size_t count,
+                        uint32_t* triples) {
+  return DecodeTailV4Generic(
+      bytes, count, triples,
+      [](const uint8_t* data, const uint8_t* end, uint32_t len) -> uint32_t {
+        if constexpr (std::endian::native == std::endian::little) {
+          // One unconditional 4-byte load masked down to `len` bytes;
+          // only near the very end of the tail is the load shortened.
+          if (end - data >= 4) {
+            uint32_t w;
+            std::memcpy(&w, data, 4);
+            static constexpr uint32_t kMask[5] = {0u, 0xffu, 0xffffu, 0u,
+                                                  0xffffffffu};
+            return w & kMask[len];
+          }
+        }
+        uint32_t v = 0;
+        for (uint32_t b = 0; b < len; ++b) {
+          v |= static_cast<uint32_t>(data[b]) << (8 * b);
+        }
+        return v;
+      });
+}
+
+}  // namespace internal
+
+const char* DecodeKernelName(DecodeKernel kernel) {
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+      return "scalar";
+    case DecodeKernel::kSwar:
+      return "swar";
+    case DecodeKernel::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+bool DecodeKernelAvailable(DecodeKernel kernel) {
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+    case DecodeKernel::kSwar:
+      return true;
+    case DecodeKernel::kSimd: {
+      const cpu::Features& f = cpu::GetFeatures();
+      return internal::SimdKernelCompiled() && f.ssse3 && f.sse41;
+    }
+  }
+  return false;
+}
+
+DecodeKernel ActiveDecodeKernel() {
+  int k = g_active_kernel.load(std::memory_order_acquire);
+  if (k < 0) {
+    k = static_cast<int>(PickKernel());
+    int expected = -1;
+    if (!g_active_kernel.compare_exchange_strong(expected, k,
+                                                 std::memory_order_acq_rel)) {
+      k = expected;
+    }
+  }
+  return static_cast<DecodeKernel>(k);
+}
+
+void SetActiveDecodeKernel(DecodeKernel kernel) {
+  TIX_CHECK(DecodeKernelAvailable(kernel));
+  g_active_kernel.store(static_cast<int>(kernel), std::memory_order_release);
+}
+
+void EncodeBlockTail(TailFormat format, const uint32_t* triples, size_t count,
+                     std::string* out) {
+  if (format == TailFormat::kV4) {
+    EncodeBlockTailV4(triples, count, out);
+  } else {
+    EncodeBlockTailV3(triples, count, out);
+  }
+}
+
+Status DecodeBlockTailWithKernel(TailFormat format, DecodeKernel kernel,
+                                 std::string_view bytes, size_t count,
+                                 uint32_t* triples) {
+  TIX_CHECK(DecodeKernelAvailable(kernel));
+  if (format == TailFormat::kV4) {
+    switch (kernel) {
+      case DecodeKernel::kScalar:
+        return internal::DecodeTailV4Scalar(bytes, count, triples);
+      case DecodeKernel::kSwar:
+        return internal::DecodeTailV4Swar(bytes, count, triples);
+      case DecodeKernel::kSimd:
+        return internal::DecodeTailV4Simd(bytes, count, triples);
+    }
+  }
+  switch (kernel) {
+    case DecodeKernel::kScalar:
+      return internal::DecodeTailV3Scalar(bytes, count, triples);
+    case DecodeKernel::kSwar:
+      return internal::DecodeTailV3Swar(bytes, count, triples);
+    case DecodeKernel::kSimd:
+      return internal::DecodeTailV3Simd(bytes, count, triples);
+  }
+  return Status::Internal("unknown decode kernel");
+}
+
+Status DecodeBlockTail(TailFormat format, std::string_view bytes, size_t count,
+                       uint32_t* triples) {
+  return DecodeBlockTailWithKernel(format, ActiveDecodeKernel(), bytes, count,
+                                   triples);
 }
 
 }  // namespace tix::codec

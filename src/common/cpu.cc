@@ -1,0 +1,33 @@
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace tix::cpu {
+namespace {
+
+Features Probe() {
+  Features f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.ssse3 = (ecx & bit_SSSE3) != 0;
+    f.sse41 = (ecx & bit_SSE4_1) != 0;
+    f.sse42 = (ecx & bit_SSE4_2) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const Features& GetFeatures() {
+  static const Features features = Probe();
+  return features;
+}
+
+}  // namespace tix::cpu

@@ -33,13 +33,20 @@ constexpr uint64_t kIndexMagicV2 = 0x5449581049445802ULL;  // "TIX\x10IDX\x02"
 // Version 3: block-compressed posting lists (see the format comment in
 // inverted_index.h). The skip interval in the header is now physical
 // block geometry, so it must match kSkipInterval.
-constexpr uint64_t kIndexMagic = 0x5449581049445803ULL;  // "TIX\x10IDX\x03"
+constexpr uint64_t kIndexMagicV3 = 0x5449581049445803ULL;  // "TIX\x10IDX\x03"
+// Version 4: identical layout to version 3 except block tails use the
+// StreamVByte-style control/data split (codec::TailFormat::kV4).
+constexpr uint64_t kIndexMagicV4 = 0x5449581049445804ULL;  // "TIX\x10IDX\x04"
 
 const uint32_t* AsTriples(const Posting* postings) {
   return reinterpret_cast<const uint32_t*>(postings);
 }
 uint32_t* AsTriples(Posting* postings) {
   return reinterpret_cast<uint32_t*>(postings);
+}
+
+int VersionOf(codec::TailFormat format) {
+  return format == codec::TailFormat::kV3 ? 3 : 4;
 }
 
 }  // namespace
@@ -84,8 +91,9 @@ void PostingList::BuildSkips() {
   }
 }
 
-void PostingList::Compress() {
+void PostingList::Compress(codec::TailFormat format) {
   if (is_compressed()) return;
+  tail_format = format;
   if (postings.empty()) {
     num_encoded = 0;
     blocks.clear();
@@ -99,7 +107,7 @@ void PostingList::Compress() {
                                           postings.size() - begin);
     skips[b].first_node = postings[begin].node_id;
     skips[b].byte_offset = static_cast<uint32_t>(blocks.size());
-    codec::EncodeBlockTail(AsTriples(postings.data() + begin), count,
+    codec::EncodeBlockTail(format, AsTriples(postings.data() + begin), count,
                            &blocks);
     skips[b].byte_length =
         static_cast<uint32_t>(blocks.size()) - skips[b].byte_offset;
@@ -123,7 +131,8 @@ Status PostingList::DecodeBlock(uint32_t block, Posting* out) const {
     return Status::Corruption("posting block: byte range out of bounds");
   }
   out[0] = Posting{head.doc_id, head.first_node, head.word_pos};
-  return codec::DecodeBlockTail(bytes.substr(begin, head.byte_length),
+  return codec::DecodeBlockTail(tail_format,
+                                bytes.substr(begin, head.byte_length),
                                 BlockPostingCount(block), AsTriples(out));
 }
 
@@ -442,21 +451,24 @@ Status PostingList::DebugCheckSorted() const {
 }
 
 Result<InvertedIndex> InvertedIndex::Build(storage::Database* db,
-                                           bool compress) {
-  return BuildForDocRange(
-      db, 0, static_cast<storage::DocId>(db->documents().size()), compress);
+                                           bool compress,
+                                           codec::TailFormat tail_format) {
+  return BuildForDocRange(db, 0,
+                          static_cast<storage::DocId>(db->documents().size()),
+                          compress, tail_format);
 }
 
-Result<InvertedIndex> InvertedIndex::BuildForDocRange(storage::Database* db,
-                                                      storage::DocId doc_begin,
-                                                      storage::DocId doc_end,
-                                                      bool compress) {
+Result<InvertedIndex> InvertedIndex::BuildForDocRange(
+    storage::Database* db, storage::DocId doc_begin, storage::DocId doc_end,
+    bool compress, codec::TailFormat tail_format) {
   const auto& documents = db->documents();
   if (doc_begin > doc_end || doc_end > documents.size()) {
     return Status::InvalidArgument("BuildForDocRange: bad doc range");
   }
   InvertedIndex out;
   out.tokenizer_options_ = db->tokenizer().options();
+  out.tail_format_ = tail_format;
+  out.format_version_ = VersionOf(tail_format);
   out.stats_.num_documents = doc_end - doc_begin;
   if (doc_begin == doc_end) return out;
   const text::Tokenizer& tokenizer = db->tokenizer();
@@ -503,7 +515,7 @@ Result<InvertedIndex> InvertedIndex::BuildForDocRange(storage::Database* db,
   for (PostingList& list : out.lists_) {
     TIX_RETURN_IF_ERROR(list.DebugCheckSorted());
     if (compress) {
-      list.Compress();
+      list.Compress(tail_format);
     } else {
       list.BuildSkips();
     }
@@ -515,9 +527,12 @@ Result<InvertedIndex> InvertedIndex::BuildForDocRange(storage::Database* db,
 Result<InvertedIndex> InvertedIndex::FromPostings(
     text::TokenizerOptions tokenizer_options,
     std::vector<std::pair<std::string, PostingList>> lists,
-    uint64_t num_documents, uint64_t num_text_nodes) {
+    uint64_t num_documents, uint64_t num_text_nodes,
+    codec::TailFormat tail_format) {
   InvertedIndex out;
   out.tokenizer_options_ = tokenizer_options;
+  out.tail_format_ = tail_format;
+  out.format_version_ = VersionOf(tail_format);
   out.stats_.num_documents = num_documents;
   out.stats_.num_text_nodes = num_text_nodes;
   for (auto& [term, list] : lists) {
@@ -546,7 +561,7 @@ Result<InvertedIndex> InvertedIndex::FromPostings(
       ++out.stats_.num_postings;
     }
     TIX_RETURN_IF_ERROR(dst.DebugCheckSorted());
-    dst.Compress();
+    dst.Compress(tail_format);
   }
   out.stats_.num_terms = out.lists_.size();
   return out;
@@ -619,9 +634,19 @@ IndexResidency InvertedIndex::MemoryUsage() const {
   return out;
 }
 
-Status InvertedIndex::SaveToFile(const std::string& path) const {
+Status InvertedIndex::SaveToFile(const std::string& path,
+                                 int target_version) const {
+  if (target_version != 0 && target_version != 3 && target_version != 4) {
+    return Status::InvalidArgument("SaveToFile: unsupported target version " +
+                                   std::to_string(target_version));
+  }
+  const codec::TailFormat target =
+      target_version == 0 ? tail_format_
+      : target_version == 3 ? codec::TailFormat::kV3
+                            : codec::TailFormat::kV4;
   std::string blob;
-  PutVarint64(&blob, kIndexMagic);
+  PutVarint64(&blob, target == codec::TailFormat::kV3 ? kIndexMagicV3
+                                                      : kIndexMagicV4);
   PutVarint64(&blob, kSkipInterval);
   // Tokenizer options (must match at load).
   blob.push_back(tokenizer_options_.lowercase ? 1 : 0);
@@ -639,7 +664,7 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
     PutVarint64(&blob, list.size());
     PutVarint64(&blob, list.doc_frequency);
     PutVarint64(&blob, list.node_frequency);
-    if (list.is_compressed()) {
+    if (list.is_compressed() && list.tail_format == target) {
       // The in-memory block encoding *is* the wire encoding: copy the
       // tails verbatim (from the owned buffer or the mapping alike).
       const std::string_view bytes = list.block_bytes();
@@ -649,6 +674,22 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
         PutVarint32(&blob, head.word_pos);
         PutVarint64(&blob, head.byte_length);
         blob.append(bytes.substr(head.byte_offset, head.byte_length));
+      }
+    } else if (list.is_compressed()) {
+      // Resident tails are in the other format: transcode one block at a
+      // time through a stack window (never the whole list).
+      Posting window[kSkipInterval];
+      for (uint32_t b = 0; b < list.num_blocks(); ++b) {
+        TIX_RETURN_IF_ERROR(list.DecodeBlock(b, window));
+        const uint32_t count = list.BlockPostingCount(b);
+        const Posting& head = window[0];
+        PutVarint32(&blob, head.doc_id);
+        PutVarint32(&blob, head.node_id);
+        PutVarint32(&blob, head.word_pos);
+        tail.clear();
+        codec::EncodeBlockTail(target, AsTriples(window), count, &tail);
+        PutVarint64(&blob, tail.size());
+        blob += tail;
       }
     } else {
       for (size_t begin = 0; begin < list.postings.size();
@@ -660,7 +701,8 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
         PutVarint32(&blob, head.node_id);
         PutVarint32(&blob, head.word_pos);
         tail.clear();
-        codec::EncodeBlockTail(AsTriples(list.postings.data() + begin),
+        codec::EncodeBlockTail(target,
+                               AsTriples(list.postings.data() + begin),
                                count, &tail);
         PutVarint64(&blob, tail.size());
         blob += tail;
@@ -677,12 +719,12 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
 
 Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
                                                   IndexLoadOptions options) {
-  // Map the file and sniff the version first: a v3 index is served
-  // straight from the mapping, so open never read()s the posting bytes
-  // at all. Legacy formats, decoded loads, and mmap failures fall back
-  // to one exactly-sized read into an owned buffer (never the old
-  // stream-into-ostringstream double buffer, which peaked at 2x the
-  // file size).
+  // Map the file and sniff the version first: a block-format index (v3
+  // or v4) is served straight from the mapping, so open never read()s
+  // the posting bytes at all. Legacy formats, decoded loads, and mmap
+  // failures fall back to one exactly-sized read into an owned buffer
+  // (never the old stream-into-ostringstream double buffer, which
+  // peaked at 2x the file size).
   std::shared_ptr<storage::MappedFile> mapping;
   if (!options.decode_postings && options.prefer_mmap) {
     Result<std::shared_ptr<storage::MappedFile>> mapped =
@@ -690,7 +732,8 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
     if (mapped.ok()) {
       std::string_view sniff = (*mapped)->data();
       const Result<uint64_t> sniffed_magic = GetVarint64(&sniff);
-      if (sniffed_magic.ok() && *sniffed_magic == kIndexMagic) {
+      if (sniffed_magic.ok() && (*sniffed_magic == kIndexMagicV3 ||
+                                 *sniffed_magic == kIndexMagicV4)) {
         mapping = std::move(*mapped);
       }
     }
@@ -704,21 +747,27 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
 
   InvertedIndex out;
   TIX_ASSIGN_OR_RETURN(const uint64_t magic, GetVarint64(&blob));
-  if (magic != kIndexMagic && magic != kIndexMagicV2 &&
-      magic != kIndexMagicV1) {
+  if (magic != kIndexMagicV4 && magic != kIndexMagicV3 &&
+      magic != kIndexMagicV2 && magic != kIndexMagicV1) {
     return Status::Corruption("bad index magic");
   }
-  out.format_version_ = magic == kIndexMagic ? 3
+  const bool block_format = magic == kIndexMagicV3 || magic == kIndexMagicV4;
+  out.format_version_ = magic == kIndexMagicV4   ? 4
+                        : magic == kIndexMagicV3 ? 3
                         : magic == kIndexMagicV2 ? 2
                                                  : 1;
+  // Legacy flat formats are transcoded into v4 blocks below; a v3 file
+  // keeps its tails verbatim so SaveToFile round-trips byte-identically.
+  out.tail_format_ = magic == kIndexMagicV3 ? codec::TailFormat::kV3
+                                            : codec::TailFormat::kV4;
   if (magic != kIndexMagicV1) {
     TIX_ASSIGN_OR_RETURN(const uint64_t skip_interval, GetVarint64(&blob));
     if (skip_interval == 0) {
       return Status::Corruption("index header: zero skip interval");
     }
-    if (magic == kIndexMagic && skip_interval != kSkipInterval) {
-      // In version 3 the interval is the physical block geometry, not a
-      // derived-data hint; SaveToFile only ever writes kSkipInterval.
+    if (block_format && skip_interval != kSkipInterval) {
+      // In versions 3/4 the interval is the physical block geometry, not
+      // a derived-data hint; SaveToFile only ever writes kSkipInterval.
       return Status::Corruption("index header: unsupported skip interval " +
                                 std::to_string(skip_interval));
     }
@@ -771,8 +820,9 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
     }
     list.doc_frequency = static_cast<uint32_t>(df);
     list.node_frequency = static_cast<uint32_t>(nf);
-    if (magic == kIndexMagic) {
-      // Version 3: the in-memory block encoding is the wire encoding.
+    list.tail_format = out.tail_format_;
+    if (block_format) {
+      // Versions 3/4: the in-memory block encoding is the wire encoding.
       // Mapped open records views into the file (byte offsets relative
       // to this list's own region, skipping over the interleaved head
       // varints); the copy fallback appends the tails into an owned
@@ -845,7 +895,8 @@ Result<InvertedIndex> InvertedIndex::LoadFromFile(const std::string& path,
           SkipEntry entry{window[0].doc_id, window[0].word_pos, block_base,
                           0, window[0].node_id,
                           static_cast<uint32_t>(list.blocks.size())};
-          codec::EncodeBlockTail(AsTriples(window), fill, &list.blocks);
+          codec::EncodeBlockTail(codec::TailFormat::kV4, AsTriples(window),
+                                 fill, &list.blocks);
           entry.byte_length =
               static_cast<uint32_t>(list.blocks.size()) - entry.byte_offset;
           list.skips.push_back(entry);

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/block_codec.h"
 #include "common/macros.h"
 #include "common/result.h"
 #include "storage/database.h"
@@ -20,10 +21,10 @@
 /// lets TermJoin merge postings against the structure and lets
 /// PhraseFinder verify adjacency without touching the stored text.
 ///
-/// On-disk format (version 3, see kIndexMagic):
+/// On-disk format (versions 3 and 4, see kIndexMagic / kIndexMagicV4):
 ///   varint magic
 ///   varint skip_interval          -- physical block geometry (must equal
-///                                    kSkipInterval for version 3)
+///                                    kSkipInterval for versions 3/4)
 ///   byte lowercase, byte remove_stopwords, byte stem
 ///   varint min_token_length
 ///   varint dict_size, dict bytes
@@ -31,20 +32,22 @@
 ///     varint num_postings, varint doc_frequency, varint node_frequency
 ///     per 128-posting block:
 ///       varint first_doc, varint first_node, varint first_pos
-///       varint tail_bytes, then the block tail: successors delta+varint
-///       coded as (doc_delta, node_delta, pos_delta) — see
-///       common/block_codec.h
+///       varint tail_bytes, then the block tail: successors delta coded
+///       as (doc_delta, node_delta, pos_delta) — LEB128 varints in
+///       version 3, a StreamVByte-style control/data split in version 4;
+///       see common/block_codec.h
 ///   varint num_documents, varint num_text_nodes
-/// Version 3 lists stay block-compressed in memory — and, because the
-/// in-memory tail encoding is byte-identical to the on-disk one,
-/// LoadFromFile mmaps the file read-only and serves posting blocks
+/// The two block formats differ only in tail bytes; everything else is
+/// byte-identical. Block-format lists stay compressed in memory — and,
+/// because the in-memory tail encoding is byte-identical to the on-disk
+/// one, LoadFromFile mmaps the file read-only and serves posting blocks
 /// straight from the mapping (no copy, no posting materialization; see
 /// storage/mapped_file.h). The streaming validation pass that derives
 /// `doc_offsets` / block-max metadata is optional
 /// (IndexLoadOptions::verify_on_open); skipping it makes open O(lists)
 /// instead of O(bytes). Versions 1 and 2 (flat delta-coded postings,
 /// derived skips) are still read: their postings are transcoded into
-/// owned blocks through a 128-posting window, so even legacy loads
+/// owned v4 blocks through a 128-posting window, so even legacy loads
 /// never hold a full decoded vector.
 
 namespace tix::storage {
@@ -145,6 +148,11 @@ struct PostingList {
   /// Process-unique identity in the DecodedBlockCache (0 = never
   /// cached). Minted by Compress()/FinishCompressed(), never reused.
   uint64_t cache_id = 0;
+  /// Wire encoding of the block tails (set by Compress() or the loader;
+  /// meaningless on decoded lists). DecodeBlock dispatches on it, so a
+  /// process can serve v3 and v4 lists side by side (e.g. a segmented
+  /// index mixing old and new segment files).
+  codec::TailFormat tail_format = codec::TailFormat::kV4;
 
   /// Block-level skip entries: one per kSkipInterval postings. Required
   /// (and always present) on compressed lists, where they double as the
@@ -189,9 +197,9 @@ struct PostingList {
   void BuildSkips();
 
   /// Converts a decoded list to the block-compressed representation:
-  /// derives skip metadata, encodes the blocks, then frees `postings`.
-  /// The list must satisfy DebugCheckSorted().
-  void Compress();
+  /// derives skip metadata, encodes the blocks in `format`, then frees
+  /// `postings`. The list must satisfy DebugCheckSorted().
+  void Compress(codec::TailFormat format = codec::TailFormat::kV4);
 
   /// Finishes a list whose compressed fields (`blocks`, `num_encoded`,
   /// per-block SkipEntry head/byte_offset, frequencies) were populated
@@ -347,6 +355,7 @@ class InvertedIndex {
       stats_ = other.stats_;
       tokenizer_options_ = other.tokenizer_options_;
       format_version_ = other.format_version_;
+      tail_format_ = other.tail_format_;
       lookups_.store(other.lookups_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
       // Moved-from containers are only "valid but unspecified"; reset
@@ -357,20 +366,24 @@ class InvertedIndex {
       other.stats_ = IndexStats();
       other.tokenizer_options_ = text::TokenizerOptions();
       other.format_version_ = kCurrentFormatVersion;
+      other.tail_format_ = codec::TailFormat::kV4;
       other.lookups_.store(0, std::memory_order_relaxed);
     }
     return *this;
   }
 
   /// Newest on-disk format version written by SaveToFile.
-  static constexpr int kCurrentFormatVersion = 3;
+  static constexpr int kCurrentFormatVersion = 4;
 
   /// Builds the index with one scan of the database's text nodes, using
   /// the database's tokenizer so index terms match load-time numbering.
   /// Lists are block-compressed by default; `compress = false` keeps the
-  /// decoded vectors (the equivalence baseline in tests).
-  static Result<InvertedIndex> Build(storage::Database* db,
-                                     bool compress = true);
+  /// decoded vectors (the equivalence baseline in tests). `tail_format`
+  /// selects the block-tail encoding of compressed lists (and the
+  /// default SaveToFile format).
+  static Result<InvertedIndex> Build(
+      storage::Database* db, bool compress = true,
+      codec::TailFormat tail_format = codec::TailFormat::kV4);
 
   /// Builds an index covering only documents [doc_begin, doc_end).
   /// Documents are appended to the node store in doc-id order, so the
@@ -379,20 +392,22 @@ class InvertedIndex {
   /// InvertedIndex over a disjoint slice of the doc-id space.
   /// stats().num_documents counts the documents in the range (including
   /// ones with no indexable text).
-  static Result<InvertedIndex> BuildForDocRange(storage::Database* db,
-                                                storage::DocId doc_begin,
-                                                storage::DocId doc_end,
-                                                bool compress = true);
+  static Result<InvertedIndex> BuildForDocRange(
+      storage::Database* db, storage::DocId doc_begin, storage::DocId doc_end,
+      bool compress = true,
+      codec::TailFormat tail_format = codec::TailFormat::kV4);
 
   /// Assembles an index from externally merged posting lists (segment
   /// compaction). Each entry is (term, decoded PostingList); postings
   /// must be strictly ascending by (doc, word_pos). Doc/node frequencies
-  /// are recomputed here, every list is validated and block-compressed,
-  /// and `num_documents` / `num_text_nodes` become the index statistics.
+  /// are recomputed here, every list is validated and block-compressed
+  /// in `tail_format`, and `num_documents` / `num_text_nodes` become the
+  /// index statistics.
   static Result<InvertedIndex> FromPostings(
       text::TokenizerOptions tokenizer_options,
       std::vector<std::pair<std::string, PostingList>> lists,
-      uint64_t num_documents, uint64_t num_text_nodes);
+      uint64_t num_documents, uint64_t num_text_nodes,
+      codec::TailFormat tail_format = codec::TailFormat::kV4);
 
   /// Postings for a term (already normalized by the caller or not — the
   /// lookup normalizes with the same tokenizer options used at build).
@@ -427,11 +442,20 @@ class InvertedIndex {
   /// every list (capacity-based for vectors).
   IndexResidency MemoryUsage() const;
 
-  /// On-disk format version this index was loaded from (or
-  /// kCurrentFormatVersion for a freshly built one).
+  /// On-disk format version this index was loaded from (or the version
+  /// matching the build tail format for a freshly built one).
   int format_version() const { return format_version_; }
 
-  Status SaveToFile(const std::string& path) const;
+  /// Block-tail encoding of this index's compressed lists (the format
+  /// SaveToFile writes verbatim when no target is forced).
+  codec::TailFormat tail_format() const { return tail_format_; }
+
+  /// Writes the index. `target_version` 0 writes the resident block
+  /// format verbatim (zero-transcode copy); 3 or 4 forces that tail
+  /// format, transcoding each block through a decode/re-encode pass if
+  /// the resident format differs. Other values are an invalid-argument
+  /// error.
+  Status SaveToFile(const std::string& path, int target_version = 0) const;
   static Result<InvertedIndex> LoadFromFile(const std::string& path,
                                             IndexLoadOptions options = {});
 
@@ -451,6 +475,7 @@ class InvertedIndex {
   IndexStats stats_;
   text::TokenizerOptions tokenizer_options_;
   int format_version_ = kCurrentFormatVersion;
+  codec::TailFormat tail_format_ = codec::TailFormat::kV4;
   /// Atomic: concurrent TermJoin partitions look terms up through const
   /// methods; a plain mutable counter would race.
   mutable std::atomic<uint64_t> lookups_{0};

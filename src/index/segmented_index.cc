@@ -248,7 +248,8 @@ Status SegmentedIndex::SealLocked(storage::Database* db) {
   // between leaves an orphan file and a consistent old manifest.
   TIX_ASSIGN_OR_RETURN(
       InvertedIndex index,
-      InvertedIndex::BuildForDocRange(db, buffer_begin_, buffer_end_, true));
+      InvertedIndex::BuildForDocRange(db, buffer_begin_, buffer_end_, true,
+                                      options_.tail_format));
   SegmentInfo info;
   info.id = manifest_.next_segment_id;
   info.file = SegmentFileName(info.id);
@@ -385,7 +386,7 @@ Status SegmentedIndex::Compact() {
         InvertedIndex index,
         InvertedIndex::FromPostings(
             inputs.front()->index().tokenizer_options(), std::move(merged),
-            merged_docs, text_nodes.size()));
+            merged_docs, text_nodes.size(), options_.tail_format));
     SegmentInfo info;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -498,6 +499,13 @@ SegmentedIndexStats SegmentedIndex::Stats() const {
   stats.total_postings =
       snapshot_ == nullptr ? 0 : snapshot_->total_postings();
   stats.compactions = compactions_;
+  for (const std::shared_ptr<const Segment>& segment : sealed_) {
+    if (segment->index().tail_format() == codec::TailFormat::kV3) {
+      ++stats.segments_v3;
+    } else {
+      ++stats.segments_v4;
+    }
+  }
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/block_codec.h"
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -18,7 +19,7 @@
 
 /// \file
 /// LSM-style segmented inverted index: a manifest of immutable sealed
-/// segments (each a v3 block-format InvertedIndex over a disjoint doc-id
+/// segments (each a block-format InvertedIndex over a disjoint doc-id
 /// slice) plus an in-memory write buffer that seals into a new segment
 /// at a size threshold. Deletes are doc-id tombstones filtered at query
 /// and applied (dropped) at compaction.
@@ -89,6 +90,11 @@ struct SegmentedIndexOptions {
   /// Background compaction triggers when the sealed-segment count
   /// reaches this.
   size_t compact_min_segments = 4;
+  /// Block-tail encoding for newly written segments (seal and compact).
+  /// Existing segment files keep whatever format they were written in —
+  /// a mixed-format manifest is fully supported, so flipping this takes
+  /// effect incrementally as segments are rewritten.
+  codec::TailFormat tail_format = codec::TailFormat::kV4;
   /// Per-segment load options (tests use decode_postings).
   IndexLoadOptions load;
 };
@@ -103,6 +109,11 @@ struct SegmentedIndexStats {
   uint64_t deleted_docs = 0;   ///< All-time deletions.
   uint64_t total_postings = 0;
   uint64_t compactions = 0;
+  /// Sealed-segment format mix (how far a v3->v4 rollover has
+  /// progressed; buffer excluded, legacy v1/v2 count as their
+  /// transcoded-to format, v4).
+  uint64_t segments_v3 = 0;
+  uint64_t segments_v4 = 0;
 };
 
 /// The mutable coordinator: owns the manifest, the sealed segments, the

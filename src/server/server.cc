@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/block_codec.h"
 #include "common/string_util.h"
 #include "exec/score_bound.h"
 #include "index/block_cache.h"
@@ -760,8 +761,16 @@ std::string TixServer::StatsJson() const {
     AppendJsonField(&out, "deleted_docs", seg.deleted_docs, &first);
     AppendJsonField(&out, "total_postings", seg.total_postings, &first);
     AppendJsonField(&out, "compactions", seg.compactions, &first);
+    AppendJsonField(&out, "segments_v3", seg.segments_v3, &first);
+    AppendJsonField(&out, "segments_v4", seg.segments_v4, &first);
     out += "}";
   }
+  // The decode kernel is a string, so it can't go through the numeric
+  // AppendJsonField helper; the name comes from a fixed internal set
+  // ("scalar"/"swar"/"simd"), no escaping needed.
+  out += ",\"decode_kernel\":\"";
+  out += codec::DecodeKernelName(codec::ActiveDecodeKernel());
+  out += "\"";
   if (fleet_ != nullptr) {
     const ShardFleetStats fleet = fleet_->Stats();
     out += ",\"fleet\":{";

@@ -28,9 +28,10 @@
 /// the lazy cursor, and — the load-bearing contract — byte-identical
 /// query results between the compressed and decoded representations, at
 /// every partition count and top-K setting, over seeded random corpora.
-/// Plus on-disk compatibility (format versions 1/2/3) and fuzzed
-/// corruption of the new format. Runs under TSan and ASan/UBSan via
-/// scripts/check_sanitizers.sh.
+/// Plus on-disk compatibility (format versions 1/2/3/4, including
+/// v3<->v4 transcode round-trips) and fuzzed corruption of both block
+/// formats. Kernel-level differential fuzzing lives in codec_test.cc.
+/// Runs under TSan and ASan/UBSan via scripts/check_sanitizers.sh.
 
 namespace tix::index {
 namespace {
@@ -46,6 +47,10 @@ using testing::Unwrap;
 constexpr uint64_t kMagicV1 = 0x5449581049445801ULL;
 constexpr uint64_t kMagicV2 = 0x5449581049445802ULL;
 constexpr uint64_t kMagicV3 = 0x5449581049445803ULL;
+constexpr uint64_t kMagicV4 = 0x5449581049445804ULL;
+
+constexpr codec::TailFormat kBothFormats[] = {codec::TailFormat::kV3,
+                                              codec::TailFormat::kV4};
 
 /// Restores the process-wide cache to its default size when a test that
 /// reconfigured it leaves scope.
@@ -89,55 +94,66 @@ PostingList MakeSyntheticList(uint32_t total, uint32_t docs) {
 // ---------------------------------------------------------- block codec
 
 TEST(BlockCodecTest, RoundTripsBlocksOfEverySize) {
-  for (const size_t count : {size_t{1}, size_t{2}, size_t{7}, size_t{127},
-                             size_t{128}}) {
-    std::vector<uint32_t> triples;
-    uint32_t doc = 5;
-    for (size_t i = 0; i < count; ++i) {
-      if (i % 3 == 0 && i > 0) doc += 2;  // several postings per doc
-      triples.push_back(doc);
-      triples.push_back(doc * 10 + static_cast<uint32_t>(i));
-      triples.push_back(static_cast<uint32_t>(i) * 4 + 1);
+  for (const codec::TailFormat format : kBothFormats) {
+    for (const size_t count : {size_t{1}, size_t{2}, size_t{7}, size_t{127},
+                               size_t{128}}) {
+      std::vector<uint32_t> triples;
+      uint32_t doc = 5;
+      for (size_t i = 0; i < count; ++i) {
+        if (i % 3 == 0 && i > 0) doc += 2;  // several postings per doc
+        triples.push_back(doc);
+        triples.push_back(doc * 10 + static_cast<uint32_t>(i));
+        triples.push_back(static_cast<uint32_t>(i) * 4 + 1);
+      }
+      std::string bytes;
+      codec::EncodeBlockTail(format, triples.data(), count, &bytes);
+      if (count == 1) {
+        EXPECT_TRUE(bytes.empty());
+      }
+      std::vector<uint32_t> decoded(triples.size());
+      decoded[0] = triples[0];
+      decoded[1] = triples[1];
+      decoded[2] = triples[2];
+      ExpectOk(codec::DecodeBlockTail(format, bytes, count, decoded.data()));
+      EXPECT_EQ(decoded, triples)
+          << "count=" << count << " format=" << static_cast<int>(format);
     }
-    std::string bytes;
-    codec::EncodeBlockTail(triples.data(), count, &bytes);
-    if (count == 1) {
-      EXPECT_TRUE(bytes.empty());
-    }
-    std::vector<uint32_t> decoded(triples.size());
-    decoded[0] = triples[0];
-    decoded[1] = triples[1];
-    decoded[2] = triples[2];
-    ExpectOk(codec::DecodeBlockTail(bytes, count, decoded.data()));
-    EXPECT_EQ(decoded, triples) << "count=" << count;
   }
 }
 
 TEST(BlockCodecTest, RejectsTruncatedAndOverlongTails) {
-  std::vector<uint32_t> triples;
-  for (uint32_t i = 0; i < 16; ++i) {
-    triples.push_back(i);          // one posting per doc
-    triples.push_back(i * 7);      // absolute node each time
-    triples.push_back(i * 31 + 1);
+  for (const codec::TailFormat format : kBothFormats) {
+    std::vector<uint32_t> triples;
+    for (uint32_t i = 0; i < 16; ++i) {
+      triples.push_back(i);          // one posting per doc
+      triples.push_back(i * 7);      // absolute node each time
+      triples.push_back(i * 31 + 1);
+    }
+    std::string bytes;
+    codec::EncodeBlockTail(format, triples.data(), 16, &bytes);
+    std::vector<uint32_t> out(triples.size());
+    out[0] = triples[0];
+    out[1] = triples[1];
+    out[2] = triples[2];
+    // Every strict prefix must fail (truncation mid-varint, mid-triple,
+    // or — v4 — inside the control or data regions).
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(
+          codec::DecodeBlockTail(format, std::string_view(bytes).substr(0, len),
+                                 16, out.data())
+              .ok())
+          << "prefix " << len << " format=" << static_cast<int>(format);
+    }
+    // Trailing garbage must fail too: a block tail is exact.
+    EXPECT_FALSE(
+        codec::DecodeBlockTail(format, bytes + '\0', 16, out.data()).ok());
   }
-  std::string bytes;
-  codec::EncodeBlockTail(triples.data(), 16, &bytes);
-  std::vector<uint32_t> out(triples.size());
-  out[0] = triples[0];
-  out[1] = triples[1];
-  out[2] = triples[2];
-  // Every strict prefix must fail (truncation mid-varint or mid-triple).
-  for (size_t len = 0; len < bytes.size(); ++len) {
-    EXPECT_FALSE(codec::DecodeBlockTail(std::string_view(bytes).substr(0, len),
-                                        16, out.data())
-                     .ok())
-        << "prefix " << len;
-  }
-  // Trailing garbage must fail too: a block tail is exact.
-  EXPECT_FALSE(codec::DecodeBlockTail(bytes + '\0', 16, out.data()).ok());
-  // A varint claiming more than 32 bits must fail.
+  // A v3 varint claiming more than 32 bits must fail.
+  std::vector<uint32_t> out(6);
   const std::string overflow("\xff\xff\xff\xff\xff", 5);
-  EXPECT_FALSE(codec::DecodeBlockTail(overflow, 2, out.data()).ok());
+  EXPECT_FALSE(codec::DecodeBlockTail(codec::TailFormat::kV3, overflow, 2,
+                                      out.data())
+                   .ok());
 }
 
 // ------------------------------------------------- compress / DecodeAll
@@ -416,6 +432,66 @@ TEST(CompressedEquivalenceTest, TwentySeededCorpora) {
   }
 }
 
+// v3 and v4 are the same index in different tail encodings: over seeded
+// corpora, a v3 save/load and a v3->v4 transcode round-trip must answer
+// every query path byte-identically to the freshly built index — full
+// TermJoin, PhraseFinder, and top-K pushdown across partition counts.
+TEST(CompressedEquivalenceTest, FormatsAnswerQueriesIdentically) {
+  constexpr size_t kInfinity = 1000000000;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto corpus = MakeCorpusDb(/*articles=*/10, /*seed=*/4000 + seed * 17);
+    index::InvertedIndex built = Unwrap(InvertedIndex::Build(corpus->db.get()));
+    const std::string v3_path = corpus->dir.path() + "/fmt.v3.tix";
+    const std::string v4_path = corpus->dir.path() + "/fmt.v4.tix";
+    ExpectOk(built.SaveToFile(v3_path, 3));
+    index::InvertedIndex v3 = Unwrap(InvertedIndex::LoadFromFile(v3_path));
+    ExpectOk(v3.SaveToFile(v4_path, 4));  // transcode: decode v3, encode v4
+    index::InvertedIndex v4 = Unwrap(InvertedIndex::LoadFromFile(v4_path));
+    ASSERT_EQ(v3.tail_format(), codec::TailFormat::kV3);
+    ASSERT_EQ(v4.tail_format(), codec::TailFormat::kV4);
+    const std::string label_base = "seed=" + std::to_string(seed);
+
+    const algebra::IrPredicate predicate = ThreePhrasePredicate();
+    const algebra::WeightedCountScorer scorer(predicate.Weights());
+
+    exec::TermJoin join_b(corpus->db.get(), &built, &predicate, &scorer);
+    const std::vector<exec::ScoredElement> full = Unwrap(join_b.Run());
+    for (index::InvertedIndex* index : {&v3, &v4}) {
+      const std::string label =
+          label_base + (index == &v3 ? "/v3" : "/v4");
+      exec::TermJoin join(corpus->db.get(), index, &predicate, &scorer);
+      ExpectIdentical(Unwrap(join.Run()), full, label + "/full");
+
+      exec::PhraseFinderQuery phrase_b(corpus->db.get(), &built,
+                                       {"xpa", "xpb"});
+      exec::PhraseFinderQuery phrase(corpus->db.get(), index, {"xpa", "xpb"});
+      EXPECT_EQ(Unwrap(phrase.Run()), Unwrap(phrase_b.Run())) << label;
+
+      for (const size_t top_k : {size_t{1}, size_t{3}, kInfinity}) {
+        algebra::ThresholdSpec spec;
+        spec.top_k = top_k;
+        exec::TermJoinOptions serial_options;
+        serial_options.threshold = spec;
+        exec::TermJoin topk_b(corpus->db.get(), &built, &predicate, &scorer,
+                              serial_options);
+        const std::vector<exec::ScoredElement> expected =
+            Unwrap(topk_b.Run());
+        for (const size_t partitions : {1u, 2u, 4u}) {
+          exec::ParallelTermJoinOptions options;
+          options.join.threshold = spec;
+          options.num_partitions = partitions;
+          options.num_threads = 4;
+          exec::ParallelTermJoin parallel(corpus->db.get(), index, &predicate,
+                                          &scorer, options);
+          ExpectIdentical(Unwrap(parallel.Run()), expected,
+                          label + "/k=" + std::to_string(top_k) + "/p" +
+                              std::to_string(partitions));
+        }
+      }
+    }
+  }
+}
+
 // With pushdown skipping documents, decode work must drop: the streams
 // seek on metadata and only landing blocks decode. Cache disabled so
 // hits cannot mask the comparison.
@@ -584,20 +660,59 @@ class IndexFormatTest : public ::testing::Test {
   std::unique_ptr<InvertedIndex> index_;
 };
 
-TEST_F(IndexFormatTest, Version3RoundTripStaysCompressed) {
-  const std::string path = dir_.path() + "/v3.tix";
-  ExpectOk(index_->SaveToFile(path));
-  InvertedIndex loaded = Unwrap(InvertedIndex::LoadFromFile(path));
-  EXPECT_EQ(loaded.format_version(), 3);
-  // Loaded lists stay block-compressed — no materialized vectors.
-  uint64_t compressed_lists = 0;
-  for (text::TermId id = 0; id < loaded.stats().num_terms; ++id) {
-    const PostingList* list = loaded.LookupId(id);
-    EXPECT_TRUE(list->postings.empty());
-    if (list->is_compressed()) ++compressed_lists;
+TEST_F(IndexFormatTest, BlockFormatsRoundTripStayingCompressed) {
+  // Default save: a fresh build is v4, and the file leads with the v4
+  // magic so old binaries reject it instead of misdecoding the tails.
+  {
+    const std::string path = dir_.path() + "/default.tix";
+    ExpectOk(index_->SaveToFile(path));
+    std::string head = ReadFile(path);
+    std::string_view view = head;
+    EXPECT_EQ(Unwrap(GetVarint64(&view)), kMagicV4);
   }
-  EXPECT_GT(compressed_lists, 0u);
-  ExpectSameIndex(loaded, "v3");
+  for (const int version : {3, 4}) {
+    const std::string path =
+        dir_.path() + "/v" + std::to_string(version) + ".tix";
+    ExpectOk(index_->SaveToFile(path, version));
+    {
+      std::string head = ReadFile(path);
+      std::string_view view = head;
+      EXPECT_EQ(Unwrap(GetVarint64(&view)),
+                version == 3 ? kMagicV3 : kMagicV4);
+    }
+    InvertedIndex loaded = Unwrap(InvertedIndex::LoadFromFile(path));
+    EXPECT_EQ(loaded.format_version(), version);
+    EXPECT_EQ(loaded.tail_format(), version == 3 ? codec::TailFormat::kV3
+                                                 : codec::TailFormat::kV4);
+    // Loaded lists stay block-compressed — no materialized vectors.
+    uint64_t compressed_lists = 0;
+    for (text::TermId id = 0; id < loaded.stats().num_terms; ++id) {
+      const PostingList* list = loaded.LookupId(id);
+      EXPECT_TRUE(list->postings.empty());
+      if (list->is_compressed()) ++compressed_lists;
+    }
+    EXPECT_GT(compressed_lists, 0u);
+    ExpectSameIndex(loaded, "v" + std::to_string(version));
+  }
+}
+
+TEST_F(IndexFormatTest, TranscodeRoundTripsAreByteStable) {
+  // v4 (resident) -> v3 file -> load -> v4 file -> load: postings and
+  // frequencies survive both transcodes, and saving the final load in
+  // its resident format reproduces the intermediate v4 file byte for
+  // byte (copy-verbatim wire == resident).
+  const std::string v3_path = dir_.path() + "/t.v3.tix";
+  const std::string v4_path = dir_.path() + "/t.v4.tix";
+  const std::string v4_again = dir_.path() + "/t.v4b.tix";
+  ExpectOk(index_->SaveToFile(v3_path, 3));
+  InvertedIndex from_v3 = Unwrap(InvertedIndex::LoadFromFile(v3_path));
+  ExpectSameIndex(from_v3, "v4->v3->load");
+  ExpectOk(from_v3.SaveToFile(v4_path, 4));
+  InvertedIndex from_v4 = Unwrap(InvertedIndex::LoadFromFile(v4_path));
+  EXPECT_EQ(from_v4.format_version(), 4);
+  ExpectSameIndex(from_v4, "v4->v3->v4->load");
+  ExpectOk(from_v4.SaveToFile(v4_again));  // resident format: verbatim copy
+  EXPECT_EQ(ReadFile(v4_again), ReadFile(v4_path));
 }
 
 TEST_F(IndexFormatTest, LegacyVersionsLoadAndQueryIdentically) {
@@ -624,7 +739,7 @@ TEST_F(IndexFormatTest, LegacyVersionsLoadAndQueryIdentically) {
 }
 
 TEST_F(IndexFormatTest, DecodePostingsLoadMatchesCompressedLoad) {
-  const std::string path = dir_.path() + "/v3.tix";
+  const std::string path = dir_.path() + "/index.tix";
   ExpectOk(index_->SaveToFile(path));
   IndexLoadOptions decode;
   decode.decode_postings = true;
@@ -640,49 +755,57 @@ TEST_F(IndexFormatTest, DecodePostingsLoadMatchesCompressedLoad) {
 // --------------------------------------------------------- format fuzz
 
 TEST_F(IndexFormatTest, TruncatedFilesFailCleanly) {
-  const std::string path = dir_.path() + "/v3.tix";
-  ExpectOk(index_->SaveToFile(path));
-  const std::string blob = ReadFile(path);
-  ASSERT_GT(blob.size(), 100u);
-  const std::string mangled = dir_.path() + "/mangled.tix";
-  // Every prefix: truncation may land mid-varint, mid-block, mid-header.
-  for (size_t len = 0; len < blob.size(); ++len) {
-    WriteFile(mangled, blob.substr(0, len));
-    const auto result = InvertedIndex::LoadFromFile(mangled);
-    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes loaded";
+  for (const int version : {3, 4}) {
+    const std::string path =
+        dir_.path() + "/v" + std::to_string(version) + ".tix";
+    ExpectOk(index_->SaveToFile(path, version));
+    const std::string blob = ReadFile(path);
+    ASSERT_GT(blob.size(), 100u);
+    const std::string mangled = dir_.path() + "/mangled.tix";
+    // Every prefix: truncation may land mid-varint, mid-block,
+    // mid-header — or, in v4, inside a control or data region.
+    for (size_t len = 0; len < blob.size(); ++len) {
+      WriteFile(mangled, blob.substr(0, len));
+      const auto result = InvertedIndex::LoadFromFile(mangled);
+      EXPECT_FALSE(result.ok()) << "v" << version << " prefix of " << len
+                                << " bytes loaded";
+    }
   }
 }
 
 TEST_F(IndexFormatTest, BitFlipsNeverCrashTheLoader) {
-  const std::string path = dir_.path() + "/v3.tix";
-  ExpectOk(index_->SaveToFile(path));
-  const std::string blob = ReadFile(path);
-  const std::string mangled = dir_.path() + "/mangled.tix";
-  size_t rejected = 0, accepted = 0;
-  for (size_t pos = 0; pos < blob.size(); pos += 3) {
-    std::string copy = blob;
-    copy[pos] = static_cast<char>(copy[pos] ^ (1u << (pos % 8)));
-    WriteFile(mangled, copy);
-    const auto result = InvertedIndex::LoadFromFile(mangled);
-    if (!result.ok()) {
-      ++rejected;
-      continue;
+  for (const int version : {3, 4}) {
+    const std::string path =
+        dir_.path() + "/v" + std::to_string(version) + ".tix";
+    ExpectOk(index_->SaveToFile(path, version));
+    const std::string blob = ReadFile(path);
+    const std::string mangled = dir_.path() + "/mangled.tix";
+    size_t rejected = 0, accepted = 0;
+    for (size_t pos = 0; pos < blob.size(); pos += 3) {
+      std::string copy = blob;
+      copy[pos] = static_cast<char>(copy[pos] ^ (1u << (pos % 8)));
+      WriteFile(mangled, copy);
+      const auto result = InvertedIndex::LoadFromFile(mangled);
+      if (!result.ok()) {
+        ++rejected;
+        continue;
+      }
+      ++accepted;
+      // A flip that survives validation (e.g. inside the dictionary's
+      // term bytes or a tokenizer flag) must still yield a queryable
+      // index: every list was re-validated at load, so decoding cannot
+      // trip a check.
+      for (text::TermId id = 0; id < result.value().stats().num_terms; ++id) {
+        (void)result.value().LookupId(id)->DecodeAll();
+      }
     }
-    ++accepted;
-    // A flip that survives validation (e.g. inside the dictionary's
-    // term bytes or a tokenizer flag) must still yield a queryable
-    // index: every list was re-validated at load, so decoding cannot
-    // trip a check.
-    for (text::TermId id = 0; id < result.value().stats().num_terms; ++id) {
-      (void)result.value().LookupId(id)->DecodeAll();
-    }
+    // Both outcomes must occur: plenty of flips (counts, deltas that
+    // break ordering, the magic) get rejected, while flips in dictionary
+    // term bytes or order-preserving delta changes survive — and the
+    // survivors above proved queryable. Either way, no flip may crash.
+    EXPECT_GT(rejected, 0u) << "v" << version;
+    EXPECT_GT(accepted, 0u) << "v" << version;
   }
-  // Both outcomes must occur: plenty of flips (counts, deltas that break
-  // ordering, the magic) get rejected, while flips in dictionary term
-  // bytes or order-preserving delta changes survive — and the survivors
-  // above proved queryable. Either way, no flip may crash.
-  EXPECT_GT(rejected, 0u);
-  EXPECT_GT(accepted, 0u);
 }
 
 // ------------------------------------------------ move-assign regression

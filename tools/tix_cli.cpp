@@ -33,6 +33,12 @@
 // Results are identical; open is O(lists) instead of O(bytes). The
 // `verify` command ignores the flag and always scrubs.
 //
+// --index-format={v3,v4} picks the posting-block tail encoding written
+// by `index` (the monolithic index.tix) and by `ingest`/`compact` (new
+// segment files). Default v4 (StreamVByte-style split control/data
+// bytes, SIMD-decodable); v3 writes the LEB128 varint format older
+// binaries read. Both load identically — see docs/INDEX.md.
+//
 // --explain appends the EXPLAIN ANALYZE tree (per-operator wall time,
 // cardinalities and storage counters) after the results; --stats-json
 // prints only the plan tree as JSON (schema: docs/OBSERVABILITY.md).
@@ -60,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "common/block_codec.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "flag_parse.h"
@@ -90,6 +97,8 @@ struct Args {
   /// Skip the O(bytes) validation scrub at index open (tixd-style trust
   /// mode). `verify` ignores this — its whole job is the scrub.
   bool trust_index = false;
+  /// Block-tail encoding for newly written indexes/segments.
+  tix::codec::TailFormat tail_format = tix::codec::TailFormat::kV4;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -121,6 +130,17 @@ Args ParseArgs(int argc, char** argv) {
       args.no_pushdown = true;
     } else if (arg == "--trust-index") {
       args.trust_index = true;
+    } else if (MatchFlag(arg, "index-format", &value)) {
+      if (value == "v3") {
+        args.tail_format = tix::codec::TailFormat::kV3;
+      } else if (value == "v4") {
+        args.tail_format = tix::codec::TailFormat::kV4;
+      } else {
+        std::fprintf(stderr,
+                     "error: --index-format must be v3 or v4, got '%s'\n",
+                     std::string(value).c_str());
+        std::exit(2);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       std::exit(2);
@@ -171,6 +191,7 @@ int Usage() {
 std::unique_ptr<tix::index::SegmentedIndex> OpenSegmented(
     const Args& args, tix::storage::Database* db) {
   tix::index::SegmentedIndexOptions options;
+  options.tail_format = args.tail_format;
   options.load = LoadOptions(args);
   auto segmented =
       Check(tix::index::SegmentedIndex::Open(args.db_dir, options));
@@ -212,7 +233,8 @@ int CmdLoad(const Args& args) {
 
 int CmdIndex(const Args& args) {
   auto db = Check(tix::storage::Database::Open(args.db_dir, DbOptions(args)));
-  auto index = Check(tix::index::InvertedIndex::Build(db.get()));
+  auto index =
+      Check(tix::index::InvertedIndex::Build(db.get(), true, args.tail_format));
   const tix::Status saved = index.SaveToFile(IndexPath(args.db_dir));
   if (!saved.ok()) Die(saved);
   // A full rebuild covers every document, so segmented state is now
@@ -356,6 +378,11 @@ int CmdStats(const Args& args) {
     std::printf("  segments:   %llu sealed, %llu compactions run\n",
                 static_cast<unsigned long long>(stats.num_segments),
                 static_cast<unsigned long long>(stats.compactions));
+    std::printf("  formats:    %llu v3, %llu v4 segments\n",
+                static_cast<unsigned long long>(stats.segments_v3),
+                static_cast<unsigned long long>(stats.segments_v4));
+    std::printf("  decode kernel: %s\n",
+                tix::codec::DecodeKernelName(tix::codec::ActiveDecodeKernel()));
     for (size_t s = 0; s < snapshot->num_segments(); ++s) {
       const tix::index::Segment& segment = snapshot->segment(s);
       const auto& info = segment.info();
@@ -391,6 +418,8 @@ int CmdStats(const Args& args) {
                     static_cast<int64_t>(index.value().stats().num_postings))
                     .c_str());
     std::printf("  format:     v%d\n", index.value().format_version());
+    std::printf("  decode kernel: %s\n",
+                tix::codec::DecodeKernelName(tix::codec::ActiveDecodeKernel()));
     const tix::index::IndexResidency residency = index.value().MemoryUsage();
     std::printf(
         "  resident:   %s bytes "
